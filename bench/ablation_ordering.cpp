@@ -1,0 +1,66 @@
+// Ablation (DESIGN.md §4): subtree ordering policy in the mirror division.
+//
+// Fig. 4 lays subtrees along the CDF axis in descending popularity; DFS
+// order is the locality-friendlier alternative (sibling subtrees land on
+// the same MDS). This bench quantifies the trade: DFS wins locality-ish
+// co-placement, popularity order wins balance.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "d2tree/core/d2tree.h"
+#include "d2tree/metrics/metrics.h"
+#include "d2tree/trace/profiles.h"
+
+using namespace d2tree;
+
+namespace {
+
+/// Fraction of adjacent (same inter node) subtree pairs co-located on one
+/// MDS — a co-placement score for the ordering policy.
+double SiblingCoPlacement(const D2TreeScheme& scheme) {
+  const auto& layers = scheme.layers();
+  const auto& owners = scheme.subtree_owners();
+  std::size_t pairs = 0, together = 0;
+  for (std::size_t i = 1; i < layers.subtrees.size(); ++i) {
+    if (layers.subtrees[i].inter_parent != layers.subtrees[i - 1].inter_parent)
+      continue;
+    ++pairs;
+    together += owners[i] == owners[i - 1];
+  }
+  return pairs > 0 ? static_cast<double>(together) / static_cast<double>(pairs)
+                   : 1.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation — mirror-division subtree ordering",
+                     "Fig. 4 design choice");
+  const double scale = bench::BenchScale();
+  std::printf("%-8s %-16s %12s %14s %16s\n", "trace", "ordering", "M",
+              "balance(Eq.2)", "sibling co-loc");
+  for (const TraceProfile& profile : bench::Datasets(scale)) {
+    const Workload w = GenerateWorkload(profile);
+    for (std::size_t m : {8ul, 32ul}) {
+      for (SubtreeOrder order :
+           {SubtreeOrder::kPopularityDesc, SubtreeOrder::kDfs}) {
+        D2TreeConfig cfg;
+        cfg.allocation.order = order;
+        D2TreeScheme scheme(cfg);
+        const MdsCluster cluster = MdsCluster::Homogeneous(m);
+        const Assignment a = scheme.Partition(w.tree, cluster);
+        const double bal = ComputeBalance(w.tree, a, cluster).balance;
+        std::printf("%-8s %-16s %12zu %14.3e %15.1f%%\n", w.name.c_str(),
+                    order == SubtreeOrder::kPopularityDesc ? "popularity-desc"
+                                                           : "dfs",
+                    m, bal, 100.0 * SiblingCoPlacement(scheme));
+      }
+    }
+  }
+  std::printf(
+      "\nReading: both orderings balance within the same order of magnitude "
+      "(the\nCDF mirroring dominates), but DFS keeps nearly all sibling "
+      "subtrees\nco-located while popularity-desc scatters them as the "
+      "cluster grows.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Rename-cost ablation (the Sec. II claim): "the overhead of rehashing
+// metadata when renaming an upper directory … is also considerable" for
+// hash-based mapping, while subtree schemes keep placement keyed on
+// structure, not pathnames.
+//
+// We rename (a) a deep directory and (b) a top-level directory, then
+// re-derive every scheme's placement and count how many metadata records
+// changed owner.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "d2tree/baselines/registry.h"
+#include "d2tree/partition/partition.h"
+#include "d2tree/trace/profiles.h"
+
+using namespace d2tree;
+
+namespace {
+
+std::size_t RenameCost(const std::string& scheme_id, const Workload& base,
+                       NodeId victim, std::size_t m) {
+  const MdsCluster cluster = MdsCluster::Homogeneous(m);
+  // Placement before the rename…
+  Workload w = base;  // private copy: Rename mutates the tree
+  const Assignment before = MakeScheme(scheme_id)->Partition(w.tree, cluster);
+  // …the rename… (metadata only; structure and popularity untouched)
+  w.tree.Rename(victim, "renamed-directory");
+  // …and the placement every scheme derives afterwards.
+  const Assignment after = MakeScheme(scheme_id)->Partition(w.tree, cluster);
+  return CountMovedNodes(before, after);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation — rename cost per scheme (Sec. II claim)",
+                     "Sec. II discussion");
+  const Workload w = GenerateWorkload(DtrProfile(bench::BenchScale()));
+  const std::size_t m = 16;
+
+  // Victim (a): the biggest top-level directory; (b): one of its deep
+  // descendants with a few hundred nodes.
+  NodeId top = kInvalidNode;
+  std::size_t top_size = 0;
+  for (NodeId c : w.tree.node(w.tree.root()).children) {
+    const std::size_t s = w.tree.SubtreeSize(c);
+    if (s > top_size) {
+      top = c;
+      top_size = s;
+    }
+  }
+  NodeId deep = kInvalidNode;
+  std::size_t deep_size = 0;
+  w.tree.VisitSubtree(top, [&](NodeId v) {
+    if (w.tree.node(v).depth >= 4 && w.tree.node(v).is_directory()) {
+      const std::size_t s = w.tree.SubtreeSize(v);
+      if (s > deep_size && s < top_size / 2) {
+        deep = v;
+        deep_size = s;
+      }
+    }
+  });
+
+  std::printf("victims: top-level %s (%zu nodes), deep %s (%zu nodes); M=%zu\n\n",
+              w.tree.PathOf(top).c_str(), top_size,
+              w.tree.PathOf(deep).c_str(), deep_size, m);
+  std::printf("%-16s %22s %22s\n", "scheme", "deep rename (moved)",
+              "top-level rename (moved)");
+  for (const auto& id : AllSchemeIds()) {
+    std::printf("%-16s %22zu %22zu\n", id.c_str(),
+                RenameCost(id, w, deep, m), RenameCost(id, w, top, m));
+  }
+  std::printf(
+      "\nReading: pathname hashing (hash; static/dynamic near the cut) "
+      "re-homes the\nrenamed subtree — D2-Tree and the structural "
+      "linearizations move nothing.\n(Real DROP/AngleCut key on pathnames "
+      "too; this implementation keys on\nstructure, so their rename cost is "
+      "a lower bound.)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Theorem 3/4 validation (Sec. V): sampled mirror division vs the exact
+// division — measured load error against the DKW-derived bounds.
+//
+// For each sample budget we allocate a large pending pool to a homogeneous
+// cluster and report max_k |L_k/C_k − μ| / μ (the δ of Thm. 3) plus the
+// Thm. 4 balance bound E[1/balance] < M/(M-1) δ²μ².
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.h"
+#include "d2tree/common/dkw.h"
+#include "d2tree/common/rng.h"
+#include "d2tree/core/allocator.h"
+
+using namespace d2tree;
+
+int main() {
+  bench::PrintHeader("Ablation — sampled vs exact mirror division (Thm. 3/4)",
+                     "Sec. V analysis");
+  Rng rng(0xABCD);
+  const std::size_t pool_size = 50'000;
+  std::vector<Subtree> pool(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    pool[i].root = static_cast<NodeId>(i + 1);
+    pool[i].popularity = rng.NextExponential(10.0);
+    pool[i].node_count = 1;
+  }
+  double total = 0.0, lo = pool[0].popularity, hi = lo;
+  for (const auto& s : pool) {
+    total += s.popularity;
+    lo = std::min(lo, s.popularity);
+    hi = std::max(hi, s.popularity);
+  }
+
+  const std::size_t m = 8;
+  const std::vector<double> caps(m, 1.0);
+  const double mu = total / static_cast<double>(m);
+
+  std::printf("pool H=%zu subtrees, M=%zu MDSs, popularity range [%.2f, %.2f]\n\n",
+              pool_size, m, lo, hi);
+  std::printf("%10s %14s %14s %16s\n", "samples", "max |dL|/mu",
+              "1/balance", "Thm4 bound(d=err)");
+
+  for (std::size_t samples : {0ul, 50ul, 200ul, 1000ul, 5000ul, 20000ul}) {
+    // Average over seeds to estimate the expectation Thm. 3 speaks about.
+    double worst_rel = 0.0, mean_var = 0.0;
+    const int trials = 5;
+    for (int t = 0; t < trials; ++t) {
+      Rng srng(1000 + t);
+      const auto owners =
+          samples == 0
+              ? MirrorDivisionExact(pool, caps, SubtreeOrder::kPopularityDesc)
+              : MirrorDivisionSampled(pool, caps, samples, srng);
+      std::vector<double> loads(m, 0.0);
+      for (std::size_t i = 0; i < pool.size(); ++i)
+        loads[owners[i]] += pool[i].popularity;
+      double var = 0.0;
+      for (double l : loads) {
+        worst_rel = std::max(worst_rel, std::fabs(l - mu) / mu);
+        var += (l / 1.0 - mu) * (l / 1.0 - mu);
+      }
+      mean_var += var / static_cast<double>(m - 1);
+    }
+    mean_var /= trials;
+    const double bound = Theorem4BalanceBound(m, worst_rel, mu);
+    std::printf("%10s %14.4f %14.4e %16.4e%s\n",
+                samples == 0 ? "exact" : std::to_string(samples).c_str(),
+                worst_rel, mean_var, bound,
+                mean_var <= bound ? "  OK" : "  VIOLATED");
+  }
+  std::printf(
+      "\nShape check vs Sec. V: load error shrinks with the sample count and "
+      "the\nmeasured balance variance stays below the Thm. 4 bound.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared helpers for the experiment binaries: table formatting and the
+// standard dataset/cluster-size grids of Sec. VI.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "d2tree/trace/profiles.h"
+
+namespace d2tree::bench {
+
+/// Workload scale factor; override with D2TREE_BENCH_SCALE (default 0.25 —
+/// node/record counts are scaled down from the full profiles so every
+/// bench finishes in seconds; shapes are scale-invariant).
+inline double BenchScale() {
+  if (const char* env = std::getenv("D2TREE_BENCH_SCALE"))
+    return std::strtod(env, nullptr);
+  return 0.25;
+}
+
+/// The cluster sizes of Figs. 5–7 (x-axis: 5..30 MDSs).
+inline std::vector<std::size_t> ClusterSizes() { return {5, 10, 15, 20, 25, 30}; }
+
+/// The three datasets of Table I.
+inline std::vector<TraceProfile> Datasets(double scale) {
+  return {DtrProfile(scale), LmbeProfile(scale), RaProfile(scale)};
+}
+
+inline void PrintHeader(const char* title, const char* source) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(reproduces %s of the D2-Tree paper, ICDCS'18)\n", source);
+  std::printf("================================================================\n");
+}
+
+inline void PrintRowLabel(const std::string& label) {
+  std::printf("%-16s", label.c_str());
+}
+
+}  // namespace d2tree::bench

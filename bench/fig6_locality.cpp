@@ -1,0 +1,44 @@
+// Fig. 6 (a–c): "Locality performance under different schemes" — Eq. (1)
+// locality vs cluster size for five schemes on three datasets.
+//
+// Expected shape (Sec. VI-B): D2-Tree and static subtree stay *flat* as
+// the cluster scales (subtrees are never re-split, jp_j is constant);
+// dynamic subtree / DROP / AngleCut degrade with M (finer pieces → more
+// jumps); AngleCut and DROP are the weakest ("locality performance is a
+// main drawback of AngleCut and DROP").
+#include <cstdio>
+
+#include "bench_util.h"
+#include "d2tree/baselines/registry.h"
+#include "d2tree/sim/experiment.h"
+
+using namespace d2tree;
+
+int main() {
+  bench::PrintHeader("Fig. 6 — locality (Eq. 1) vs cluster size",
+                     "Fig. 6(a)-(c)");
+  const double scale = bench::BenchScale();
+  const auto sizes = bench::ClusterSizes();
+
+  for (const TraceProfile& profile : bench::Datasets(scale)) {
+    const Workload w = GenerateWorkload(profile);
+    std::printf("\n--- Fig. 6 (%s) — locality ×1e-6 ---\n", w.name.c_str());
+    bench::PrintRowLabel("scheme");
+    for (std::size_t m : sizes) std::printf("   M=%-6zu", m);
+    std::printf("\n");
+    for (const auto& scheme : PaperSchemeIds()) {
+      bench::PrintRowLabel(scheme);
+      for (std::size_t m : sizes) {
+        ExperimentOptions opt;
+        opt.run_throughput_sim = false;  // locality is a placement property
+        const SchemeRunResult r = RunSchemeExperiment(scheme, w, m, opt);
+        std::printf(" %9.3f", r.locality * 1e6);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nShape check vs paper: D2-Tree & static-subtree flat in M and "
+      "highest;\ndynamic/DROP/AngleCut degrade as the cluster scales.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 7 (a–c): "Load balancing performance under different schemes" —
+// Eq. (2) balance degree vs cluster size after 20 adjustment rounds.
+//
+// Expected shape (Sec. VI-B): the hash family (DROP, AngleCut) and
+// D2-Tree far above dynamic subtree; static subtree worst; D2-Tree beats
+// dynamic subtree on LMBE and RA because flow-control nodes live in the
+// replicated global layer.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "d2tree/baselines/registry.h"
+#include "d2tree/sim/experiment.h"
+
+using namespace d2tree;
+
+int main() {
+  bench::PrintHeader("Fig. 7 — balance degree (Eq. 2) vs cluster size",
+                     "Fig. 7(a)-(c)");
+  const double scale = bench::BenchScale();
+  const auto sizes = bench::ClusterSizes();
+
+  for (const TraceProfile& profile : bench::Datasets(scale)) {
+    const Workload w = GenerateWorkload(profile);
+    std::printf("\n--- Fig. 7 (%s) — balance ×1e-6 ---\n", w.name.c_str());
+    bench::PrintRowLabel("scheme");
+    for (std::size_t m : sizes) std::printf("   M=%-6zu", m);
+    std::printf("\n");
+    for (const auto& scheme : PaperSchemeIds()) {
+      bench::PrintRowLabel(scheme);
+      for (std::size_t m : sizes) {
+        ExperimentOptions opt;
+        opt.run_throughput_sim = false;
+        opt.adjustment_rounds = 20;  // paper: subtraces replayed 20 times
+        const SchemeRunResult r = RunSchemeExperiment(scheme, w, m, opt);
+        std::printf(" %9.1f", r.balance * 1e6);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nShape check vs paper: DROP/AngleCut/D2-Tree far above dynamic "
+      "subtree;\nstatic subtree worst; D2-Tree > dynamic on LMBE and RA.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// google-benchmark micro benches for the hot paths: path resolution,
+// popularity aggregation, Tree-Splitting, mirror division, routing.
+#include <benchmark/benchmark.h>
+
+#include "d2tree/core/d2tree.h"
+#include "d2tree/core/splitter.h"
+#include "d2tree/sim/route.h"
+#include "d2tree/trace/profiles.h"
+
+namespace d2tree {
+namespace {
+
+const Workload& SharedWorkload() {
+  static const Workload w = GenerateWorkload(LmbeProfile(0.1));
+  return w;
+}
+
+void BM_PathResolve(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  // Pre-collect some paths.
+  std::vector<std::string> paths;
+  for (NodeId id = 1; id < w.tree.size(); id += 257)
+    paths.push_back(w.tree.PathOf(id));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.tree.Resolve(paths[i]));
+    i = (i + 1) % paths.size();
+  }
+}
+BENCHMARK(BM_PathResolve);
+
+void BM_RecomputePopularity(benchmark::State& state) {
+  Workload w = GenerateWorkload(LmbeProfile(0.05));
+  for (auto _ : state) {
+    w.tree.RecomputeSubtreePopularity();
+    benchmark::DoNotOptimize(w.tree);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.tree.size()));
+}
+BENCHMARK(BM_RecomputePopularity);
+
+void BM_TreeSplitting(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SplitTreeToProportion(w.tree, 0.01).global_layer.size());
+  }
+}
+BENCHMARK(BM_TreeSplitting);
+
+void BM_MirrorDivisionExact(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  const SplitResult split = SplitTreeToProportion(w.tree, 0.01);
+  const SplitLayers layers = ExtractLayers(w.tree, split.global_layer);
+  const std::vector<double> caps(static_cast<std::size_t>(state.range(0)), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MirrorDivisionExact(
+        layers.subtrees, caps, SubtreeOrder::kPopularityDesc));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(layers.subtrees.size()));
+}
+BENCHMARK(BM_MirrorDivisionExact)->Arg(8)->Arg(32);
+
+void BM_MirrorDivisionSampled(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  const SplitResult split = SplitTreeToProportion(w.tree, 0.01);
+  const SplitLayers layers = ExtractLayers(w.tree, split.global_layer);
+  const std::vector<double> caps(16, 1.0);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MirrorDivisionSampled(
+        layers.subtrees, caps, static_cast<std::size_t>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_MirrorDivisionSampled)->Arg(64)->Arg(512);
+
+void BM_D2TreePartition(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  const MdsCluster cluster = MdsCluster::Homogeneous(16);
+  for (auto _ : state) {
+    D2TreeScheme scheme;
+    benchmark::DoNotOptimize(scheme.Partition(w.tree, cluster));
+  }
+}
+BENCHMARK(BM_D2TreePartition);
+
+void BM_RoutePlanning(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  D2TreeScheme scheme;
+  const MdsCluster cluster = MdsCluster::Homogeneous(16);
+  const Assignment a = scheme.Partition(w.tree, cluster);
+  const D2TreeRouter router(w.tree, a, scheme.local_index(), 0.05);
+  Rng rng(3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        router.PlanRoute(w.trace.records()[i], rng).visits.size());
+    i = (i + 1) % w.trace.size();
+  }
+}
+BENCHMARK(BM_RoutePlanning);
+
+}  // namespace
+}  // namespace d2tree
+
+BENCHMARK_MAIN();

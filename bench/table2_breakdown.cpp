@@ -1,0 +1,33 @@
+// Table II: "Operation breakdowns for various traces" — read/write/update
+// fractions of the regenerated traces vs the paper's numbers.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "d2tree/trace/profiles.h"
+
+using namespace d2tree;
+
+int main() {
+  bench::PrintHeader("Table II — operation breakdowns", "Table II");
+  const double scale = bench::BenchScale();
+
+  struct PaperRow {
+    double read, write, update;
+  };
+  const PaperRow paper[] = {{67.743, 26.137, 6.119},
+                            {78.877, 21.108, 0.015},
+                            {47.734, 36.174, 16.102}};
+
+  std::printf("%-10s %10s %10s %10s\n", "", "Read", "Write", "Update");
+  int i = 0;
+  for (const TraceProfile& profile : bench::Datasets(scale)) {
+    const Workload w = GenerateWorkload(profile);
+    const auto b = w.trace.OpBreakdown();
+    std::printf("%-10s %9.3f%% %9.3f%% %9.3f%%\n", w.name.c_str(),
+                100 * b[0], 100 * b[1], 100 * b[2]);
+    std::printf("%-10s %9.3f%% %9.3f%% %9.3f%%  [paper]\n", "",
+                paper[i].read, paper[i].write, paper[i].update);
+    ++i;
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Functional cluster demo: a live (in-process) MDS cluster serving real
+// metadata records — stat & update operations, a forced forwarding, a
+// global-layer write broadcast, dynamic adjustment physically moving
+// records, and the consistency audit.
+#include <cstdio>
+
+#include "d2tree/mds/cluster.h"
+#include "d2tree/trace/profiles.h"
+
+using namespace d2tree;
+
+int main() {
+  const Workload w = GenerateWorkload(DtrProfile(0.05));
+  FunctionalCluster cluster(w.tree, 4);
+  std::printf("Functional cluster: %zu MDSs serving %zu metadata records\n",
+              cluster.mds_count(), w.tree.size());
+  for (MdsId k = 0; k < 4; ++k) {
+    std::printf("  MDS %d: %zu local records + %zu GL replica records\n", k,
+                cluster.server(k).local().size(),
+                cluster.server(k).global_replica().size());
+  }
+
+  // A few client operations.
+  const NodeId gl_node = cluster.scheme().split().global_layer[1];
+  const std::string gl_path = w.tree.PathOf(gl_node);
+  auto r = cluster.Stat(gl_path);
+  std::printf("\nstat %-24s -> %s from MDS %d (hops=%d, version=%lu)\n",
+              gl_path.c_str(), MdsStatusName(r.status), r.served_by, r.hops,
+              static_cast<unsigned long>(r.record.version));
+
+  // A deep local-layer file, first correctly routed, then via the wrong
+  // server to show forwarding.
+  std::string deep_path;
+  for (NodeId id = w.tree.size(); id-- > 1;) {
+    if (!cluster.assignment().IsReplicated(id) &&
+        !w.tree.node(id).is_directory()) {
+      deep_path = w.tree.PathOf(id);
+      break;
+    }
+  }
+  r = cluster.Stat(deep_path);
+  std::printf("stat %-24s -> %s from MDS %d (hops=%d)\n", deep_path.c_str(),
+              MdsStatusName(r.status), r.served_by, r.hops);
+  const MdsId wrong = (r.served_by + 1) % 4;
+  r = cluster.StatVia(deep_path, wrong);
+  std::printf("stat %-24s via MDS %d -> forwarded, served by MDS %d (hops=%d)\n",
+              deep_path.c_str(), wrong, r.served_by, r.hops);
+
+  // Global-layer update: lock + broadcast.
+  r = cluster.Update(gl_path, /*mtime=*/1720000000);
+  std::printf("update %-22s -> %s, GL master version now %lu\n",
+              gl_path.c_str(), MdsStatusName(r.status),
+              static_cast<unsigned long>(cluster.gl_master_version()));
+
+  // Hammer one server's subtrees, then adjust: records physically move.
+  const auto& subtrees = cluster.scheme().layers().subtrees;
+  const auto& owners = cluster.scheme().subtree_owners();
+  for (std::size_t i = 0; i < subtrees.size(); ++i) {
+    if (owners[i] != 0) continue;
+    const std::string p = w.tree.PathOf(subtrees[i].root);
+    for (int hit = 0; hit < 100; ++hit) cluster.Stat(p);
+  }
+  const std::size_t moved = cluster.RunAdjustmentRound();
+  std::printf("\nAdjustment round migrated %zu records between stores.\n",
+              moved);
+
+  std::string error;
+  const bool ok = cluster.CheckConsistency(&error);
+  std::printf("Consistency audit: %s%s\n", ok ? "CLEAN" : "BROKEN: ",
+              ok ? "" : error.c_str());
+  std::printf("Total forwards observed: %lu\n",
+              static_cast<unsigned long>(cluster.total_forwards()));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Trace replay on the simulated cluster: generates the LMBE-like dataset,
+// partitions it with D2-Tree, and replays the trace through the
+// discrete-event cluster simulator with 200 closed-loop clients — a
+// miniature of the paper's EC2 evaluation for one scheme/dataset pair.
+#include <cstdio>
+
+#include "d2tree/core/d2tree.h"
+#include "d2tree/metrics/metrics.h"
+#include "d2tree/sim/cluster_sim.h"
+#include "d2tree/trace/profiles.h"
+
+using namespace d2tree;
+
+int main(int argc, char** argv) {
+  const std::size_t mds_count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
+  const Workload w = GenerateWorkload(LmbeProfile(0.25));
+  std::printf("Dataset %s: %zu nodes, %zu records (max depth %u)\n",
+              w.name.c_str(), w.tree.size(), w.trace.size(),
+              w.tree.MaxDepth());
+
+  D2TreeScheme scheme;
+  const MdsCluster cluster = MdsCluster::Homogeneous(mds_count);
+  const Assignment assignment = scheme.Partition(w.tree, cluster);
+  std::printf("D2-Tree: GL=%zu nodes (%.2f%%), %zu subtrees, %zu inter nodes\n",
+              scheme.split().global_layer.size(),
+              100.0 * static_cast<double>(scheme.split().global_layer.size()) /
+                  static_cast<double>(w.tree.size()),
+              scheme.layers().subtrees.size(),
+              scheme.layers().inter_nodes.size());
+
+  SimConfig sim;
+  sim.max_ops = 80'000;
+  sim.index_miss_prob = 0.05;
+  const D2TreeRouter router(w.tree, assignment, scheme.local_index(),
+                            sim.index_miss_prob);
+  const SimResult r = RunClusterSim(w.trace, router, mds_count, sim);
+
+  std::printf("\nCluster simulation (%zu MDSs, %zu clients):\n", mds_count,
+              sim.client_count);
+  std::printf("  completed ops : %zu\n", r.completed_ops);
+  std::printf("  throughput    : %.0f ops/s\n", r.throughput);
+  std::printf("  mean latency  : %.3f ms   p99: %.3f ms\n",
+              r.mean_latency * 1e3, r.p99_latency * 1e3);
+  std::printf("  max server utilization: %.1f%%\n", 100 * r.MaxUtilization());
+  std::printf("  GL lock wait  : %.3f s total\n", r.lock_wait_total);
+
+  const BalanceReport bal = ComputeBalance(w.tree, assignment, cluster);
+  std::printf("  balance (Eq.2): %.3e, mu=%.1f\n", bal.balance, bal.mu);
+  const LocalityReport loc = ComputeLocality(w.tree, assignment);
+  std::printf("  locality (Eq.1): %.3e\n", loc.locality);
+  return 0;
+}

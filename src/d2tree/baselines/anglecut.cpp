@@ -1,0 +1,139 @@
+#include "d2tree/baselines/anglecut.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "d2tree/common/histogram.h"
+
+namespace d2tree {
+
+std::vector<double> AngleCutPartitioner::ProjectAngles(
+    const NamespaceTree& tree) {
+  // Interval subdivision: each node owns [lo, hi); children split the
+  // parent's interval proportionally to subtree node counts. A node's
+  // angle is its interval start — subtrees are contiguous arcs.
+  std::vector<std::size_t> sizes(tree.size(), 1);
+  for (std::size_t id = tree.size(); id-- > 1;)
+    sizes[tree.node(id).parent] += sizes[id];
+
+  std::vector<double> lo(tree.size(), 0.0), hi(tree.size(), 0.0);
+  hi[tree.root()] = 1.0;
+  for (NodeId id : tree.PreorderNodes()) {
+    double start = lo[id];
+    const double width = hi[id] - lo[id];
+    // The node keeps an epsilon-slot at the start of its interval; each
+    // child gets a window proportional to its subtree size.
+    const double denom = static_cast<double>(sizes[id]);
+    for (NodeId c : tree.node(id).children) {
+      const double w = width * static_cast<double>(sizes[c]) / denom;
+      lo[c] = start;
+      hi[c] = start + w;
+      start += w;
+    }
+  }
+  return lo;
+}
+
+double AngleCutPartitioner::RingAngle(NodeId id, std::uint32_t depth) const {
+  const auto ring = depth % config_.ring_count;
+  double a = angles_[id] + config_.ring_rotation * static_cast<double>(ring);
+  a -= std::floor(a);
+  return a;
+}
+
+Assignment AngleCutPartitioner::AssignFromBounds(
+    const NamespaceTree& tree, const MdsCluster& cluster) const {
+  Assignment a;
+  a.mds_count = cluster.size();
+  a.owner.resize(tree.size());
+  for (NodeId id = 0; id < tree.size(); ++id) {
+    const double angle = RingAngle(id, tree.node(id).depth);
+    const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), angle);
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(it - bounds_.begin()), cluster.size() - 1);
+    a.owner[id] = static_cast<MdsId>(k);
+  }
+  return a;
+}
+
+Assignment AngleCutPartitioner::Partition(const NamespaceTree& tree,
+                                          const MdsCluster& cluster) {
+  angles_ = ProjectAngles(tree);
+  angled_tree_size_ = tree.size();
+  bounds_.clear();
+  const double total = cluster.TotalCapacity();
+  double acc = 0.0;
+  for (double c : cluster.capacities) {
+    acc += c;
+    bounds_.push_back(acc / total);
+  }
+  bounds_.back() = 1.0;
+  return AssignFromBounds(tree, cluster);
+}
+
+RebalanceResult AngleCutPartitioner::Rebalance(const NamespaceTree& tree,
+                                               const MdsCluster& cluster,
+                                               const Assignment& current) {
+  if (angled_tree_size_ != tree.size()) {
+    angles_ = ProjectAngles(tree);
+    angled_tree_size_ = tree.size();
+  }
+  std::vector<double> cap_shares(cluster.size());
+  {
+    const double total_cap = cluster.TotalCapacity();
+    double acc = 0.0;
+    for (std::size_t k = 0; k < cluster.size(); ++k) {
+      acc += cluster.capacities[k];
+      cap_shares[k] = acc / total_cap;
+    }
+    cap_shares.back() = 1.0;
+  }
+
+  if (config_.histogram_buckets == 0) {
+    // Exact arc re-cut: weighted quantiles over ring-adjusted angles.
+    std::vector<std::pair<double, double>> keyed(tree.size());
+    for (NodeId id = 0; id < tree.size(); ++id) {
+      keyed[id] = {RingAngle(id, tree.node(id).depth),
+                   tree.node(id).individual_popularity};
+    }
+    std::sort(keyed.begin(), keyed.end());
+    std::vector<double> sorted_keys(keyed.size()), weights(keyed.size());
+    for (std::size_t r = 0; r < keyed.size(); ++r) {
+      sorted_keys[r] = keyed[r].first;
+      weights[r] = keyed[r].second;
+    }
+    bounds_ = WeightedQuantileBoundaries(sorted_keys, weights, cap_shares);
+  } else {
+    // Routed-load histogram over the angle axis, boundaries at bucket
+    // granularity.
+    const std::size_t buckets = config_.histogram_buckets;
+    std::vector<double> hist(buckets, 0.0);
+    for (NodeId id = 0; id < tree.size(); ++id) {
+      const double angle = RingAngle(id, tree.node(id).depth);
+      const auto b =
+          std::min(buckets - 1, static_cast<std::size_t>(angle * buckets));
+      hist[b] += tree.node(id).individual_popularity;
+    }
+    double total_load = 0.0;
+    for (double h : hist) total_load += h;
+    bounds_.assign(cluster.size(), 1.0);
+    double load_acc = 0.0;
+    std::size_t b = 0;
+    for (std::size_t k = 0; k + 1 < cluster.size(); ++k) {
+      const double target = total_load * cap_shares[k];
+      while (b < buckets && load_acc + hist[b] <= target) {
+        load_acc += hist[b];
+        ++b;
+      }
+      bounds_[k] = static_cast<double>(b) / static_cast<double>(buckets);
+    }
+  }
+
+  RebalanceResult r;
+  r.assignment = AssignFromBounds(tree, cluster);
+  r.moved_nodes = CountMovedNodes(current, r.assignment);
+  return r;
+}
+
+}  // namespace d2tree

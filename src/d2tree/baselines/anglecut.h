@@ -1,0 +1,59 @@
+// AngleCut (Sec. II, ref [3]): locality-preserving hashing onto multiple
+// Chord-like rings.
+//
+// Each node receives an *angle*: the root owns [0,1) and every directory
+// subdivides its interval among children proportionally to subtree size, so
+// any subtree occupies one contiguous arc (the locality-preserving
+// projection). Nodes live on one of `ring_count` rings chosen by depth
+// (AngleCut's multi-ring layout); every MDS owns one arc per ring, and the
+// arcs are rotated between rings, which is why pathname traversals cross
+// servers and locality degrades as the cluster scales (Fig. 6). Rebalance
+// re-cuts the arcs at load-weighted quantiles (the ring analogue of DROP's
+// HDLB), giving the hash-family's excellent balance (Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+struct AngleCutConfig {
+  /// Number of Chord-like rings; nodes map to ring (depth % ring_count).
+  std::size_t ring_count = 3;
+  /// Per-ring arc rotation (fraction of the circle) applied cumulatively.
+  double ring_rotation = 0.37;
+  /// 0 = exact node-granularity arc re-cuts; otherwise histogram buckets.
+  std::size_t histogram_buckets = 0;
+};
+
+class AngleCutPartitioner : public Partitioner {
+ public:
+  explicit AngleCutPartitioner(AngleCutConfig config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "AngleCut"; }
+
+  Assignment Partition(const NamespaceTree& tree,
+                       const MdsCluster& cluster) override;
+
+  RebalanceResult Rebalance(const NamespaceTree& tree,
+                            const MdsCluster& cluster,
+                            const Assignment& current) override;
+
+  /// The angle of every node (contiguous per subtree). Exposed for tests.
+  static std::vector<double> ProjectAngles(const NamespaceTree& tree);
+
+ private:
+  Assignment AssignFromBounds(const NamespaceTree& tree,
+                              const MdsCluster& cluster) const;
+  double RingAngle(NodeId id, std::uint32_t depth) const;
+
+  AngleCutConfig config_;
+  std::vector<double> angles_;   // per node
+  std::vector<double> bounds_;   // arc upper boundaries per MDS (size M)
+  std::size_t angled_tree_size_ = 0;
+};
+
+}  // namespace d2tree

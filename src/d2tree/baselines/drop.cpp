@@ -1,0 +1,112 @@
+#include "d2tree/baselines/drop.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "d2tree/common/histogram.h"
+
+namespace d2tree {
+
+std::vector<double> DropPartitioner::LocalityPreservingKeys(
+    const NamespaceTree& tree) {
+  std::vector<double> keys(tree.size(), 0.0);
+  const auto order = tree.PreorderNodes();
+  for (std::size_t rank = 0; rank < order.size(); ++rank)
+    keys[order[rank]] =
+        static_cast<double>(rank) / static_cast<double>(order.size());
+  return keys;
+}
+
+Assignment DropPartitioner::AssignFromBounds(const NamespaceTree& tree,
+                                             const MdsCluster& cluster) const {
+  Assignment a;
+  a.mds_count = cluster.size();
+  a.owner.resize(tree.size());
+  for (NodeId id = 0; id < tree.size(); ++id) {
+    const auto it =
+        std::upper_bound(bounds_.begin(), bounds_.end(), keys_[id]);
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(it - bounds_.begin()), cluster.size() - 1);
+    a.owner[id] = static_cast<MdsId>(k);
+  }
+  return a;
+}
+
+Assignment DropPartitioner::Partition(const NamespaceTree& tree,
+                                      const MdsCluster& cluster) {
+  keys_ = LocalityPreservingKeys(tree);
+  keyed_tree_size_ = tree.size();
+  // Capacity-proportional static ranges (no load information yet).
+  bounds_.clear();
+  const double total = cluster.TotalCapacity();
+  double acc = 0.0;
+  for (double c : cluster.capacities) {
+    acc += c;
+    bounds_.push_back(acc / total);
+  }
+  bounds_.back() = 1.0;
+  return AssignFromBounds(tree, cluster);
+}
+
+RebalanceResult DropPartitioner::Rebalance(const NamespaceTree& tree,
+                                           const MdsCluster& cluster,
+                                           const Assignment& current) {
+  if (keyed_tree_size_ != tree.size()) {
+    keys_ = LocalityPreservingKeys(tree);
+    keyed_tree_size_ = tree.size();
+  }
+  // Cumulative capacity shares (the quantile targets).
+  std::vector<double> cap_shares(cluster.size());
+  {
+    const double total_cap = cluster.TotalCapacity();
+    double acc = 0.0;
+    for (std::size_t k = 0; k < cluster.size(); ++k) {
+      acc += cluster.capacities[k];
+      cap_shares[k] = acc / total_cap;
+    }
+    cap_shares.back() = 1.0;
+  }
+
+  if (config_.histogram_buckets == 0) {
+    // Exact HDLB: node-granularity weighted quantiles along the key axis.
+    // Keys are already the preorder rank / N, so nodes sorted by key are
+    // just the preorder sequence.
+    const auto order = tree.PreorderNodes();
+    std::vector<double> sorted_keys(order.size()), weights(order.size());
+    for (std::size_t r = 0; r < order.size(); ++r) {
+      sorted_keys[r] = keys_[order[r]];
+      weights[r] = tree.node(order[r]).individual_popularity;
+    }
+    bounds_ = WeightedQuantileBoundaries(sorted_keys, weights, cap_shares);
+  } else {
+    // Approximate HDLB: histogram of routed load along the key axis, then
+    // boundaries at bucket granularity (cheaper, what real HDLB ships).
+    const std::size_t buckets = config_.histogram_buckets;
+    std::vector<double> hist(buckets, 0.0);
+    for (NodeId id = 0; id < tree.size(); ++id) {
+      const auto b = std::min(buckets - 1,
+                              static_cast<std::size_t>(keys_[id] * buckets));
+      hist[b] += tree.node(id).individual_popularity;
+    }
+    double total_load = 0.0;
+    for (double h : hist) total_load += h;
+    bounds_.assign(cluster.size(), 1.0);
+    double load_acc = 0.0;
+    std::size_t b = 0;
+    for (std::size_t k = 0; k + 1 < cluster.size(); ++k) {
+      const double target = total_load * cap_shares[k];
+      while (b < buckets && load_acc + hist[b] <= target) {
+        load_acc += hist[b];
+        ++b;
+      }
+      bounds_[k] = static_cast<double>(b) / static_cast<double>(buckets);
+    }
+  }
+
+  RebalanceResult r;
+  r.assignment = AssignFromBounds(tree, cluster);
+  r.moved_nodes = CountMovedNodes(current, r.assignment);
+  return r;
+}
+
+}  // namespace d2tree

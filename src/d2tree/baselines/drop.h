@@ -1,0 +1,62 @@
+// DROP (Sec. II, refs [10]/[12]): locality-preserving hashing + HDLB.
+//
+// DROP linearizes the namespace with a locality-preserving hash — here the
+// DFS preorder rank normalized to [0,1), which keeps any subtree in one
+// contiguous key interval — and gives each MDS a contiguous key range.
+// Its Histogram-based Dynamic Load Balancing (HDLB) periodically moves the
+// range boundaries to the load-weighted quantiles, so ranges carry load
+// proportional to capacity. Balance is excellent (hash family); locality
+// suffers because root→leaf paths cross range boundaries, more often as M
+// grows.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+struct DropConfig {
+  /// Number of histogram buckets HDLB aggregates load into before moving
+  /// boundaries (coarser = cheaper, less precise). 0 = exact
+  /// node-granularity weighted quantiles.
+  std::size_t histogram_buckets = 0;
+};
+
+class DropPartitioner : public Partitioner {
+ public:
+  explicit DropPartitioner(DropConfig config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "DROP"; }
+
+  /// Initial placement: capacity-proportional key ranges over the
+  /// locality-preserving linearization (no load knowledge yet).
+  Assignment Partition(const NamespaceTree& tree,
+                       const MdsCluster& cluster) override;
+
+  /// One HDLB round: rebuild the load histogram along the key space and
+  /// move boundaries to capacity-weighted load quantiles.
+  RebalanceResult Rebalance(const NamespaceTree& tree,
+                            const MdsCluster& cluster,
+                            const Assignment& current) override;
+
+  /// Key-range upper boundaries per MDS after the last build (size M,
+  /// last == 1.0). Exposed for tests.
+  const std::vector<double>& boundaries() const noexcept { return bounds_; }
+
+  /// The locality-preserving key of a node: DFS rank / N.
+  static std::vector<double> LocalityPreservingKeys(const NamespaceTree& tree);
+
+ private:
+  Assignment AssignFromBounds(const NamespaceTree& tree,
+                              const MdsCluster& cluster) const;
+
+  DropConfig config_;
+  std::vector<double> bounds_;
+  std::vector<double> keys_;  // per node, cached per tree size
+  std::size_t keyed_tree_size_ = 0;
+};
+
+}  // namespace d2tree

@@ -1,0 +1,138 @@
+#include "d2tree/baselines/dynamic_subtree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "d2tree/common/hash.h"
+
+namespace d2tree {
+
+void DynamicSubtreePartitioner::InitialUnits(const NamespaceTree& tree,
+                                             const MdsCluster& cluster) {
+  units_.clear();
+  tree_size_at_build_ = tree.size();
+  // Every node at initial_depth roots a subtree unit; shallower nodes are
+  // singleton units hashed individually (the "directories near the root").
+  for (NodeId id = 0; id < tree.size(); ++id) {
+    const MetaNode& n = tree.node(id);
+    if (n.depth > config_.initial_depth) continue;
+    const bool subtree_unit = n.depth == config_.initial_depth;
+    const std::uint64_t h = MixHash(Fnv1a64(tree.PathOf(id)) ^ config_.seed);
+    units_.push_back({id, static_cast<MdsId>(h % cluster.size()),
+                      /*singleton=*/!subtree_unit});
+  }
+}
+
+double DynamicSubtreePartitioner::UnitLoad(const NamespaceTree& tree,
+                                           const Unit& u) const {
+  const double truth = u.singleton ? tree.node(u.root).individual_popularity
+                                   : tree.node(u.root).subtree_popularity;
+  if (config_.load_noise <= 0.0) return truth;
+  // Deterministic per-(unit, round) perturbation in [-noise, +noise],
+  // modeling decayed-counter measurement error.
+  const std::uint64_t h =
+      MixHash(HashCombine(u.root, static_cast<std::uint64_t>(round_) ^
+                                      config_.seed));
+  const double jitter =
+      (static_cast<double>(h) * 0x1.0p-64 * 2.0 - 1.0) * config_.load_noise;
+  return truth * (1.0 + jitter);
+}
+
+Assignment DynamicSubtreePartitioner::Paint(const NamespaceTree& tree,
+                                            const MdsCluster& cluster) const {
+  Assignment a;
+  a.mds_count = cluster.size();
+  a.owner.assign(tree.size(), 0);
+  // Units are mutually disjoint and cover the namespace (invariant kept by
+  // InitialUnits and the split step), so painting order is irrelevant.
+  for (const Unit& u : units_) {
+    if (u.singleton) {
+      a.owner[u.root] = u.owner;
+    } else {
+      tree.VisitSubtree(u.root, [&](NodeId v) { a.owner[v] = u.owner; });
+    }
+  }
+  return a;
+}
+
+Assignment DynamicSubtreePartitioner::Partition(const NamespaceTree& tree,
+                                                const MdsCluster& cluster) {
+  InitialUnits(tree, cluster);
+  return Paint(tree, cluster);
+}
+
+RebalanceResult DynamicSubtreePartitioner::Rebalance(
+    const NamespaceTree& tree, const MdsCluster& cluster,
+    const Assignment& current) {
+  ++round_;
+  if (units_.empty() || tree_size_at_build_ != tree.size()) {
+    InitialUnits(tree, cluster);
+  }
+  for (Unit& u : units_)  // re-home owners after cluster shrink
+    if (u.owner >= static_cast<MdsId>(cluster.size()))
+      u.owner = static_cast<MdsId>(
+          MixHash(u.root ^ config_.seed) % cluster.size());
+
+  std::vector<double> loads(cluster.size(), 0.0);
+  for (const Unit& u : units_) loads[u.owner] += UnitLoad(tree, u);
+  double total = 0.0;
+  for (double l : loads) total += l;
+  const double mu = total / cluster.TotalCapacity();
+
+  std::size_t migrations = 0;
+  bool progress = true;
+  while (progress && migrations < config_.max_migrations_per_round) {
+    progress = false;
+    // Busiest and idlest servers this iteration.
+    std::size_t hot = 0, cold = 0;
+    for (std::size_t k = 1; k < loads.size(); ++k) {
+      if (loads[k] / cluster.capacities[k] >
+          loads[hot] / cluster.capacities[hot])
+        hot = k;
+      if (loads[k] / cluster.capacities[k] <
+          loads[cold] / cluster.capacities[cold])
+        cold = k;
+    }
+    const double ideal_hot = mu * cluster.capacities[hot];
+    if (loads[hot] <= (1.0 + config_.tolerance) * ideal_hot) break;
+
+    // Hottest unit on the overloaded server.
+    std::size_t victim = units_.size();
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+      if (units_[i].owner != static_cast<MdsId>(hot)) continue;
+      if (victim == units_.size() ||
+          UnitLoad(tree, units_[i]) > UnitLoad(tree, units_[victim]))
+        victim = i;
+    }
+    if (victim == units_.size()) break;  // nothing movable
+
+    const double vload = UnitLoad(tree, units_[victim]);
+    const Unit v = units_[victim];
+    if (!v.singleton && vload > config_.split_fraction * ideal_hot &&
+        !tree.node(v.root).children.empty()) {
+      // Too hot to move in one piece: split into children units plus the
+      // root as a singleton (finer Ceph-style granularity). Disjointness
+      // is preserved: the old unit's subtree = root ∪ children subtrees.
+      units_[victim] = {v.root, v.owner, /*singleton=*/true};
+      for (NodeId c : tree.node(v.root).children)
+        units_.push_back({c, v.owner, /*singleton=*/false});
+      progress = true;  // same loads, finer pieces; retry
+      continue;
+    }
+
+    // Migrate the victim to the idlest server — the step that thrashes
+    // when the piece alone exceeds the receiver's slack (Sec. II).
+    units_[victim].owner = static_cast<MdsId>(cold);
+    loads[hot] -= vload;
+    loads[cold] += vload;
+    ++migrations;
+    progress = true;
+  }
+
+  RebalanceResult r;
+  r.assignment = Paint(tree, cluster);
+  r.moved_nodes = CountMovedNodes(current, r.assignment);
+  return r;
+}
+
+}  // namespace d2tree

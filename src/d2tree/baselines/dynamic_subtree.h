@@ -1,0 +1,76 @@
+// Dynamic subtree partitioning (Ceph/Kosha style, Sec. II, Sec. VI).
+//
+// Starts like static subtree partitioning but at finer granularity; when a
+// server becomes heavily loaded it migrates subdirectories to lighter
+// servers, splitting hot subtrees into their children for ever-finer
+// pieces. This is the scheme whose thrashing and complexity the paper
+// criticizes — faithfully reproduced here: migration picks the hottest
+// movable unit, and units too hot to move get split.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+struct DynamicSubtreeConfig {
+  /// Initial partition granularity (deeper = finer than static's default).
+  std::uint32_t initial_depth = 2;
+  /// A server is overloaded when its load exceeds (1 + tolerance) × ideal.
+  double tolerance = 0.15;
+  /// A unit hotter than this fraction of ideal load is split into its
+  /// children before migrating (finer granularity under pressure).
+  double split_fraction = 0.5;
+  /// Safety cap on migrations per rebalance round.
+  std::size_t max_migrations_per_round = 1'000;
+  /// Relative noise on per-unit load estimates. Real implementations act
+  /// on decayed access counters and stale heartbeats; the resulting
+  /// mis-estimates are what make migrate-on-overload thrash (Sec. II).
+  double load_noise = 0.10;
+  std::uint64_t seed = 0;
+};
+
+class DynamicSubtreePartitioner : public Partitioner {
+ public:
+  explicit DynamicSubtreePartitioner(DynamicSubtreeConfig config = {})
+      : config_(config) {}
+
+  std::string_view name() const override { return "DynamicSubtree"; }
+
+  Assignment Partition(const NamespaceTree& tree,
+                       const MdsCluster& cluster) override;
+
+  /// Migrate-on-overload with on-demand unit splitting.
+  RebalanceResult Rebalance(const NamespaceTree& tree,
+                            const MdsCluster& cluster,
+                            const Assignment& current) override;
+
+  /// Current number of movable units (grows as hot subtrees get split).
+  std::size_t unit_count() const noexcept { return units_.size(); }
+
+ private:
+  struct Unit {
+    NodeId root;
+    MdsId owner;
+    /// Singleton units hold just the root node (upper directories, and
+    /// former subtree roots after a split); otherwise the whole subtree.
+    bool singleton = false;
+  };
+
+  void InitialUnits(const NamespaceTree& tree, const MdsCluster& cluster);
+  /// Load estimate as the scheme perceives it: true load perturbed by the
+  /// per-round counter noise.
+  double UnitLoad(const NamespaceTree& tree, const Unit& u) const;
+  Assignment Paint(const NamespaceTree& tree,
+                   const MdsCluster& cluster) const;
+
+  DynamicSubtreeConfig config_;
+  std::vector<Unit> units_;
+  std::size_t tree_size_at_build_ = 0;
+  std::size_t round_ = 0;
+};
+
+}  // namespace d2tree

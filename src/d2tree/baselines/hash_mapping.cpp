@@ -1,0 +1,35 @@
+#include "d2tree/baselines/hash_mapping.h"
+
+#include "d2tree/common/hash.h"
+
+namespace d2tree {
+
+Assignment HashPartitioner::Partition(const NamespaceTree& tree,
+                                      const MdsCluster& cluster) {
+  Assignment a;
+  a.mds_count = cluster.size();
+  a.owner.resize(tree.size());
+  for (NodeId id = 0; id < tree.size(); ++id) {
+    const std::uint64_t h =
+        MixHash(Fnv1a64(tree.PathOf(id)) ^ seed_);
+    a.owner[id] = static_cast<MdsId>(h % cluster.size());
+  }
+  return a;
+}
+
+RebalanceResult HashPartitioner::Rebalance(const NamespaceTree& tree,
+                                           const MdsCluster& cluster,
+                                           const Assignment& current) {
+  RebalanceResult r;
+  r.assignment = current;
+  if (r.assignment.owner.size() != tree.size() ||
+      r.assignment.mds_count != cluster.size()) {
+    // Namespace or cluster changed: rehash (the overhead the paper calls
+    // "considerable" shows up as moved_nodes).
+    r.assignment = Partition(tree, cluster);
+    r.moved_nodes = CountMovedNodes(current, r.assignment);
+  }
+  return r;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,34 @@
+// Pure hash-based mapping (Sec. II "Hash-Based Mapping").
+//
+// The CalvinFS / GIGA+ family: every metadata node is hashed by its full
+// pathname to one MDS. Load spreads almost perfectly, but a pathname
+// traversal visits a different server per component (terrible locality),
+// and renames/cluster-scaling rehash large swaths of the namespace.
+#pragma once
+
+#include <string_view>
+
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+class HashPartitioner : public Partitioner {
+ public:
+  explicit HashPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
+
+  std::string_view name() const override { return "Hash"; }
+
+  Assignment Partition(const NamespaceTree& tree,
+                       const MdsCluster& cluster) override;
+
+  /// Hash placement ignores load; rebalancing is a no-op (what makes the
+  /// scheme cheap — and inflexible).
+  RebalanceResult Rebalance(const NamespaceTree& tree,
+                            const MdsCluster& cluster,
+                            const Assignment& current) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace d2tree

@@ -1,0 +1,35 @@
+#include "d2tree/baselines/registry.h"
+
+#include <stdexcept>
+
+#include "d2tree/baselines/anglecut.h"
+#include "d2tree/baselines/drop.h"
+#include "d2tree/baselines/dynamic_subtree.h"
+#include "d2tree/baselines/hash_mapping.h"
+#include "d2tree/baselines/static_subtree.h"
+#include "d2tree/core/d2tree.h"
+
+namespace d2tree {
+
+std::vector<std::string> AllSchemeIds() {
+  return {"static-subtree", "dynamic-subtree", "d2tree",
+          "anglecut",       "drop",            "hash"};
+}
+
+std::vector<std::string> PaperSchemeIds() {
+  return {"static-subtree", "dynamic-subtree", "d2tree", "anglecut", "drop"};
+}
+
+std::unique_ptr<Partitioner> MakeScheme(std::string_view id) {
+  if (id == "d2tree") return std::make_unique<D2TreeScheme>();
+  if (id == "static-subtree")
+    return std::make_unique<StaticSubtreePartitioner>();
+  if (id == "dynamic-subtree")
+    return std::make_unique<DynamicSubtreePartitioner>();
+  if (id == "drop") return std::make_unique<DropPartitioner>();
+  if (id == "anglecut") return std::make_unique<AngleCutPartitioner>();
+  if (id == "hash") return std::make_unique<HashPartitioner>();
+  throw std::invalid_argument("unknown scheme id: " + std::string(id));
+}
+
+}  // namespace d2tree

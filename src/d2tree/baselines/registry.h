@@ -1,0 +1,26 @@
+// Factory for all schemes evaluated in Sec. VI: the five the paper compares
+// (D2-Tree, static subtree, dynamic subtree, DROP, AngleCut) plus the pure
+// hash baseline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+/// Scheme ids usable with MakeScheme: "d2tree", "static-subtree",
+/// "dynamic-subtree", "drop", "anglecut", "hash".
+std::vector<std::string> AllSchemeIds();
+
+/// The five schemes of the paper's figures, in plot order.
+std::vector<std::string> PaperSchemeIds();
+
+/// Creates a fresh partitioner (default configuration). Throws
+/// std::invalid_argument for unknown ids.
+std::unique_ptr<Partitioner> MakeScheme(std::string_view id);
+
+}  // namespace d2tree

@@ -1,0 +1,39 @@
+#include "d2tree/baselines/static_subtree.h"
+
+#include "d2tree/common/hash.h"
+
+namespace d2tree {
+
+Assignment StaticSubtreePartitioner::Partition(const NamespaceTree& tree,
+                                               const MdsCluster& cluster) {
+  Assignment a;
+  a.mds_count = cluster.size();
+  a.owner.resize(tree.size());
+  // Parents are created before children, so one forward pass can inherit
+  // subtree ownership from the depth-`partition_depth` ancestor.
+  for (NodeId id = 0; id < tree.size(); ++id) {
+    const MetaNode& n = tree.node(id);
+    if (n.depth <= config_.partition_depth) {
+      const std::uint64_t h = MixHash(Fnv1a64(tree.PathOf(id)) ^ config_.seed);
+      a.owner[id] = static_cast<MdsId>(h % cluster.size());
+    } else {
+      a.owner[id] = a.owner[n.parent];
+    }
+  }
+  return a;
+}
+
+RebalanceResult StaticSubtreePartitioner::Rebalance(
+    const NamespaceTree& tree, const MdsCluster& cluster,
+    const Assignment& current) {
+  RebalanceResult r;
+  r.assignment = current;
+  if (r.assignment.owner.size() != tree.size() ||
+      r.assignment.mds_count != cluster.size()) {
+    r.assignment = Partition(tree, cluster);
+    r.moved_nodes = CountMovedNodes(current, r.assignment);
+  }
+  return r;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,42 @@
+// Static subtree partitioning (Sec. II, Sec. VI "Implements").
+//
+// "The initial metadata partition was created by hashing directories near
+// the root of the hierarchy": every directory at `partition_depth` roots an
+// indivisible subtree placed by hashing its path; the few nodes above that
+// depth are hashed individually. Placement never reacts to load — good
+// locality, potentially terrible balance, needs manual intervention in
+// practice (Sec. VI-A).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+struct StaticSubtreeConfig {
+  std::uint32_t partition_depth = 1;
+  std::uint64_t seed = 0;
+};
+
+class StaticSubtreePartitioner : public Partitioner {
+ public:
+  explicit StaticSubtreePartitioner(StaticSubtreeConfig config = {})
+      : config_(config) {}
+
+  std::string_view name() const override { return "StaticSubtree"; }
+
+  Assignment Partition(const NamespaceTree& tree,
+                       const MdsCluster& cluster) override;
+
+  /// Static partitioning never migrates (its defining weakness).
+  RebalanceResult Rebalance(const NamespaceTree& tree,
+                            const MdsCluster& cluster,
+                            const Assignment& current) override;
+
+ private:
+  StaticSubtreeConfig config_;
+};
+
+}  // namespace d2tree

@@ -1,0 +1,50 @@
+// Exponentially decaying access counters (Sec. IV-B, Dynamic-Adjustment).
+//
+// "MDS's use access counters whose values decay over time to monitor the
+// popularity of internodes and metadata nodes of local layer."
+#pragma once
+
+#include <cmath>
+
+namespace d2tree {
+
+/// A counter whose value halves every `half_life` time units. Decay is
+/// applied lazily on read/update, so idle counters cost nothing.
+class DecayCounter {
+ public:
+  /// `half_life` must be > 0 (in the same time unit as the `now` arguments).
+  explicit DecayCounter(double half_life = 60.0, double now = 0.0) noexcept
+      : lambda_(kLn2 / half_life), last_(now) {}
+
+  /// Adds `amount` at time `now` (>= last observed time).
+  void Add(double amount, double now) noexcept {
+    DecayTo(now);
+    value_ += amount;
+  }
+
+  /// Current decayed value at time `now`.
+  double Value(double now) const noexcept {
+    return value_ * std::exp(-lambda_ * (now - last_));
+  }
+
+  /// Forces decay bookkeeping up to `now`.
+  void DecayTo(double now) noexcept {
+    value_ = Value(now);
+    last_ = now;
+  }
+
+  void Reset(double now) noexcept {
+    value_ = 0.0;
+    last_ = now;
+  }
+
+  double half_life() const noexcept { return kLn2 / lambda_; }
+
+ private:
+  static constexpr double kLn2 = 0.6931471805599453;
+  double lambda_;
+  double last_;
+  double value_ = 0.0;
+};
+
+}  // namespace d2tree

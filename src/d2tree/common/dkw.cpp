@@ -1,0 +1,49 @@
+#include "d2tree/common/dkw.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace d2tree {
+
+double DkwTailProbability(std::size_t k, double eps) {
+  assert(eps > 0.0);
+  return std::min(1.0, 2.0 * std::exp(-2.0 * static_cast<double>(k) * eps * eps));
+}
+
+std::size_t DkwSampleCountFor(double eps, double fail_prob) {
+  assert(eps > 0.0 && fail_prob > 0.0 && fail_prob < 1.0);
+  const double k = std::log(2.0 / fail_prob) / (2.0 * eps * eps);
+  return static_cast<std::size_t>(std::ceil(k));
+}
+
+std::size_t Lemma1SampleCount(double t, std::size_t subtree_count, double max_pop,
+                              double min_pop, double delta) {
+  assert(t > 0.0 && delta > 0.0 && max_pop >= min_pop);
+  const double h = static_cast<double>(subtree_count);
+  const double range = max_pop - min_pop;
+  if (range <= 0.0) return 1;  // degenerate distribution: one sample suffices
+  const double k = std::log(t * h) / 2.0 * (range / delta) * (range / delta);
+  return static_cast<std::size_t>(std::ceil(std::max(1.0, k)));
+}
+
+std::size_t Theorem3SampleCount(double t, std::size_t subtree_count,
+                                double capacity_share, double max_pop,
+                                double min_pop, double delta, double mu,
+                                double capacity) {
+  assert(t > 0.0 && delta > 0.0 && mu > 0.0 && capacity > 0.0);
+  const double h = static_cast<double>(subtree_count);
+  const double range = max_pop - min_pop;
+  if (range <= 0.0) return 1;
+  const double inner = h * capacity_share * range / (delta * mu * capacity);
+  const double k = std::log(t * h * h) / 2.0 * inner * inner;
+  return static_cast<std::size_t>(std::ceil(std::max(1.0, k)));
+}
+
+double Theorem4BalanceBound(std::size_t mds_count, double delta, double mu) {
+  assert(mds_count >= 2);
+  const double m = static_cast<double>(mds_count);
+  return m / (m - 1.0) * delta * delta * mu * mu;
+}
+
+}  // namespace d2tree

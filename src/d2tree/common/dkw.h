@@ -1,0 +1,37 @@
+// Dvoretzky–Kiefer–Wolfowitz helpers (Sec. V, Thm. 2–4).
+//
+// The paper bounds the error of allocating subtrees from a *sample* of the
+// pending pool instead of the full pool. These helpers compute the sample
+// sizes and deviation bounds it derives.
+#pragma once
+
+#include <cstddef>
+
+namespace d2tree {
+
+/// DKW tail bound: Pr(sup |F_k - F| > eps) <= 2 exp(-2 k eps^2).
+double DkwTailProbability(std::size_t k, double eps);
+
+/// Smallest sample count k such that the DKW bound is <= `fail_prob`.
+std::size_t DkwSampleCountFor(double eps, double fail_prob);
+
+/// Lemma 1 sample size: ln(t*H)/2 * ((U-L)/delta)^2 samples give
+/// E[|s_i - s_j|] < delta with probability >= 1 - 2/(t*H).
+/// H = number of subtrees, [L, U] = popularity range.
+std::size_t Lemma1SampleCount(double t, std::size_t subtree_count, double max_pop,
+                              double min_pop, double delta);
+
+/// Theorem 3 sample size for MDS k: ln(t*H^2)/2 * (H*p_k*(U-L)/(delta*mu*C_k))^2
+/// samples give E[|L_k/C_k - mu|] < delta*mu with probability >= 1 - 2/(t*H).
+/// `capacity_share` is p_k = C_k / sum_i C_i, `mu` the ideal load factor and
+/// `capacity` is C_k.
+std::size_t Theorem3SampleCount(double t, std::size_t subtree_count,
+                                double capacity_share, double max_pop,
+                                double min_pop, double delta, double mu,
+                                double capacity);
+
+/// Theorem 4 bound on E[balance^{-1}]-style deviation:
+/// E[ (1/(M-1)) sum (L_k/C_k - mu)^2 ] < M/(M-1) * delta^2 * mu^2.
+double Theorem4BalanceBound(std::size_t mds_count, double delta, double mu);
+
+}  // namespace d2tree

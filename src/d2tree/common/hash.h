@@ -1,0 +1,37 @@
+// Hashing utilities used by the path index and the hash-based baselines.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace d2tree {
+
+/// 64-bit FNV-1a over bytes; stable across platforms/runs so hash-based
+/// partitioning baselines are deterministic.
+constexpr std::uint64_t Fnv1a64(std::string_view data,
+                                std::uint64_t seed = 0xCBF29CE484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Mixes two 64-bit hashes (boost::hash_combine flavored for 64 bit).
+constexpr std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) noexcept {
+  a ^= b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4);
+  return a;
+}
+
+/// Final avalanche mix (from MurmurHash3) for integer keys.
+constexpr std::uint64_t MixHash(std::uint64_t k) noexcept {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDULL;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,119 @@
+#include "d2tree/common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace d2tree {
+
+EquiDepthHistogram::EquiDepthHistogram(std::span<const double> samples,
+                                       std::size_t buckets) {
+  assert(!samples.empty());
+  assert(buckets >= 1);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  bounds_.reserve(buckets + 1);
+  bounds_.push_back(sorted.front());
+  for (std::size_t b = 1; b < buckets; ++b) {
+    const double q = static_cast<double>(b) / static_cast<double>(buckets);
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    bounds_.push_back(sorted[idx]);
+  }
+  bounds_.push_back(sorted.back());
+  // Boundaries must be non-decreasing; ties are fine for Cdf().
+}
+
+double EquiDepthHistogram::bucket_mass() const noexcept {
+  return 1.0 / static_cast<double>(bounds_.size() - 1);
+}
+
+double EquiDepthHistogram::Cdf(double x) const {
+  if (x <= bounds_.front()) return 0.0;
+  if (x >= bounds_.back()) return 1.0;
+  // Find the bucket containing x and interpolate linearly within it.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
+  const auto hi = static_cast<std::size_t>(it - bounds_.begin());
+  const std::size_t lo = hi - 1;
+  const double width = bounds_[hi] - bounds_[lo];
+  const double frac = width > 0 ? (x - bounds_[lo]) / width : 1.0;
+  return (static_cast<double>(lo) + frac) * bucket_mass();
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  assert(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::Value(double z) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), z);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  assert(q > 0.0 && q <= 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
+}
+
+double EmpiricalCdf::KsDistance(const EmpiricalCdf& other) const {
+  double sup = 0.0;
+  for (const auto& s : sorted_) {
+    sup = std::max(sup, std::fabs(Value(s) - other.Value(s)));
+  }
+  for (const auto& s : other.sorted_) {
+    sup = std::max(sup, std::fabs(Value(s) - other.Value(s)));
+  }
+  return sup;
+}
+
+std::vector<double> WeightedQuantileBoundaries(
+    std::span<const double> sorted_keys, std::span<const double> weights,
+    std::span<const double> capacity_shares) {
+  assert(sorted_keys.size() == weights.size());
+  assert(!capacity_shares.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+
+  std::vector<double> bounds(capacity_shares.size(), 1.0);
+  std::size_t i = 0;
+  double acc = 0.0;
+  for (std::size_t k = 0; k + 1 < capacity_shares.size(); ++k) {
+    const double target = capacity_shares[k] * total;
+    // Advance while adding the next item keeps us at/below target, or gets
+    // us closer to it than stopping short would.
+    while (i < sorted_keys.size() &&
+           (acc + weights[i] <= target ||
+            (target - acc) > (acc + weights[i] - target))) {
+      acc += weights[i];
+      ++i;
+    }
+    if (i == 0) {
+      bounds[k] = sorted_keys.empty() ? 0.0 : sorted_keys.front() - 1e-12;
+    } else if (i >= sorted_keys.size()) {
+      bounds[k] = sorted_keys.back() + 1e-12;
+    } else {
+      bounds[k] = 0.5 * (sorted_keys[i - 1] + sorted_keys[i]);
+    }
+  }
+  return bounds;
+}
+
+std::vector<double> CumulativeShares(std::span<const double> weights) {
+  std::vector<double> out;
+  out.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += w;
+    out.push_back(total > 0 ? acc / total : 0.0);
+  }
+  if (!out.empty()) out.back() = 1.0;  // guard rounding
+  return out;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,78 @@
+// Histogram-based probability distributions and empirical CDFs (Def. 6).
+//
+// The subtree-allocation algorithm (Sec. IV-B) approximates the popularity
+// distribution of local-layer subtrees and the remaining-capacity
+// distribution of MDSs with histograms / empirical CDFs, then performs
+// mirror division between the two curves.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace d2tree {
+
+/// Equi-depth histogram over scalar samples (Def. 6): bucket boundaries
+/// x_1 < x_2 < ... < x_k with Pr(x_i <= Z <= x_{i+1}) = delta_x for every
+/// bucket.
+class EquiDepthHistogram {
+ public:
+  /// Builds `buckets` equal-probability buckets from `samples`
+  /// (need not be sorted). Requires buckets >= 1 and a non-empty sample set.
+  EquiDepthHistogram(std::span<const double> samples, std::size_t buckets);
+
+  /// Bucket boundaries; size() == buckets + 1.
+  const std::vector<double>& boundaries() const noexcept { return bounds_; }
+
+  /// Per-bucket probability mass (1 / buckets).
+  double bucket_mass() const noexcept;
+
+  /// Approximate CDF value at `x` (piecewise-linear inside buckets).
+  double Cdf(double x) const;
+
+ private:
+  std::vector<double> bounds_;
+};
+
+/// Empirical cumulative distribution function F_k(z) = (#samples <= z) / k,
+/// the estimator whose error the Dvoretzky–Kiefer–Wolfowitz inequality
+/// (Thm. 2) bounds.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// F(z) = fraction of samples <= z. 0 for z below all samples.
+  double Value(double z) const;
+
+  /// Generalized inverse: smallest sample s with F(s) >= q, for q in (0, 1].
+  double Quantile(double q) const;
+
+  std::size_t sample_count() const noexcept { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const noexcept {
+    return sorted_;
+  }
+
+  /// Kolmogorov–Smirnov distance sup_z |F(z) - other(z)| evaluated over the
+  /// union of both sample sets (exact for step functions).
+  double KsDistance(const EmpiricalCdf& other) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Weighted cumulative share curve over an ordered item sequence: entry i is
+/// (sum of weights 0..i) / total. This is the "Pr(X)" staircase of Fig. 4.
+std::vector<double> CumulativeShares(std::span<const double> weights);
+
+/// Exact weighted quantile split of a 1-D key space: given items sorted by
+/// `sorted_keys` with per-item `weights`, returns one upper boundary per
+/// entry of `capacity_shares` (cumulative, last == 1) such that the weight
+/// left of boundary k is as close as possible to capacity_shares[k] of the
+/// total. Boundaries are midpoints between adjacent keys, so items never
+/// sit exactly on a boundary. Used by DROP's HDLB and AngleCut's arc
+/// re-cutting at node granularity.
+std::vector<double> WeightedQuantileBoundaries(
+    std::span<const double> sorted_keys, std::span<const double> weights,
+    std::span<const double> capacity_shares);
+
+}  // namespace d2tree

@@ -1,0 +1,51 @@
+#include "d2tree/common/path_util.h"
+
+namespace d2tree {
+
+std::vector<std::string_view> SplitPath(std::string_view path) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start < path.size()) {
+    while (start < path.size() && path[start] == '/') ++start;
+    std::size_t end = start;
+    while (end < path.size() && path[end] != '/') ++end;
+    if (end > start) out.push_back(path.substr(start, end - start));
+    start = end;
+  }
+  return out;
+}
+
+std::string JoinPath(const std::vector<std::string_view>& components) {
+  if (components.empty()) return "/";
+  std::string out;
+  for (const auto& c : components) {
+    out.push_back('/');
+    out.append(c);
+  }
+  return out;
+}
+
+std::size_t PathDepth(std::string_view path) { return SplitPath(path).size(); }
+
+std::string_view ParentPath(std::string_view path) {
+  while (path.size() > 1 && path.back() == '/') path.remove_suffix(1);
+  const auto pos = path.find_last_of('/');
+  if (pos == std::string_view::npos || pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+std::string_view BaseName(std::string_view path) {
+  while (path.size() > 1 && path.back() == '/') path.remove_suffix(1);
+  if (path == "/") return "";
+  const auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+bool IsPathPrefix(std::string_view prefix, std::string_view path) {
+  if (prefix == "/") return true;
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+}  // namespace d2tree

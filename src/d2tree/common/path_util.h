@@ -1,0 +1,31 @@
+// POSIX-style path helpers shared by the namespace tree and trace parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace d2tree {
+
+/// Splits "/a/b/c" (or "a/b/c") into {"a", "b", "c"}. Empty components from
+/// repeated slashes are dropped. "/" yields an empty vector.
+std::vector<std::string_view> SplitPath(std::string_view path);
+
+/// Joins components into a canonical absolute path: {"a","b"} -> "/a/b";
+/// empty -> "/".
+std::string JoinPath(const std::vector<std::string_view>& components);
+
+/// Number of components in the path ("/" -> 0, "/a/b" -> 2).
+std::size_t PathDepth(std::string_view path);
+
+/// Parent path of "/a/b/c" -> "/a/b"; parent of "/a" and "/" -> "/".
+std::string_view ParentPath(std::string_view path);
+
+/// Final component ("/a/b/c" -> "c", "/" -> "").
+std::string_view BaseName(std::string_view path);
+
+/// True if `prefix` is the path itself or one of its ancestors
+/// ("/a/b" is a path-prefix of "/a/b/c" but not of "/a/bc").
+bool IsPathPrefix(std::string_view prefix, std::string_view path);
+
+}  // namespace d2tree

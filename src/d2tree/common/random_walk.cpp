@@ -1,0 +1,41 @@
+#include "d2tree/common/random_walk.h"
+
+#include <cassert>
+
+namespace d2tree {
+
+std::size_t RandomWalkSampler::Step(Rng& rng, std::size_t v) const {
+  const std::size_t dv = degree_(v);
+  assert(dv >= 1);
+  const std::size_t u = neighbor_(v, rng.NextBounded(dv));
+  const std::size_t du = degree_(u);
+  // Metropolis–Hastings acceptance for a uniform target distribution.
+  const double accept = static_cast<double>(dv) / static_cast<double>(du);
+  return (accept >= 1.0 || rng.NextDouble() < accept) ? u : v;
+}
+
+std::vector<std::size_t> RandomWalkSampler::Sample(Rng& rng, std::size_t count,
+                                                   std::size_t burn_in,
+                                                   std::size_t thin) const {
+  assert(n_ > 0);
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  std::size_t v = rng.NextBounded(n_);
+  for (std::size_t i = 0; i < burn_in; ++i) v = Step(rng, v);
+  for (std::size_t s = 0; s < count; ++s) {
+    for (std::size_t i = 0; i < thin; ++i) v = Step(rng, v);
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::size_t> UniformIndexSample(Rng& rng, std::size_t n,
+                                            std::size_t count) {
+  assert(n > 0);
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(rng.NextBounded(n));
+  return out;
+}
+
+}  // namespace d2tree

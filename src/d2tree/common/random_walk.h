@@ -1,0 +1,57 @@
+// Random-walk sampling (Sec. IV-B).
+//
+// "each MDS in our proposal samples a number of subtrees based on a random
+// walk, which aims to reduce the cost." We model the pending pool as a
+// graph whose vertices are subtrees; a Metropolis–Hastings corrected walk
+// over any connected neighbor structure converges to the uniform
+// distribution, so the samples feed the DKW machinery of Sec. V.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "d2tree/common/rng.h"
+
+namespace d2tree {
+
+/// Uniform sampling over `n` items via a Metropolis–Hastings random walk on
+/// a caller-supplied neighborhood. `degree(v)` must be >= 1 for every
+/// vertex and `neighbor(v, i)` returns the i-th neighbor of v
+/// (0 <= i < degree(v)). The walk applies the MH acceptance rule
+/// min(1, deg(v)/deg(u)) so the stationary distribution is uniform even on
+/// irregular graphs.
+class RandomWalkSampler {
+ public:
+  using DegreeFn = std::function<std::size_t(std::size_t)>;
+  using NeighborFn = std::function<std::size_t(std::size_t, std::size_t)>;
+
+  RandomWalkSampler(std::size_t vertex_count, DegreeFn degree,
+                    NeighborFn neighbor)
+      : n_(vertex_count), degree_(std::move(degree)),
+        neighbor_(std::move(neighbor)) {}
+
+  /// Draws `count` (approximately independent) uniform vertices, taking
+  /// `burn_in` steps before the first sample and `thin` steps between
+  /// samples.
+  std::vector<std::size_t> Sample(Rng& rng, std::size_t count,
+                                  std::size_t burn_in = 32,
+                                  std::size_t thin = 4) const;
+
+  std::size_t vertex_count() const noexcept { return n_; }
+
+ private:
+  std::size_t Step(Rng& rng, std::size_t v) const;
+
+  std::size_t n_;
+  DegreeFn degree_;
+  NeighborFn neighbor_;
+};
+
+/// Convenience: samples `count` indices uniformly from [0, n) without a
+/// graph (used when the pool is directly indexable, the common case for the
+/// Monitor's pending pool).
+std::vector<std::size_t> UniformIndexSample(Rng& rng, std::size_t n,
+                                            std::size_t count);
+
+}  // namespace d2tree

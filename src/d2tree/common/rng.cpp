@@ -1,0 +1,14 @@
+#include "d2tree/common/rng.h"
+
+#include <cmath>
+
+namespace d2tree {
+
+double Rng::NextExponential(double mean) noexcept {
+  // Inverse CDF; clamp away from 0 so log() is finite.
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace d2tree

@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// All stochastic components of the library (trace generators, samplers,
+// the cluster simulator) take an explicit Rng so that every experiment is
+// reproducible from a seed. The engine is xoshiro256**, seeded via
+// SplitMix64, which is fast and has no observable correlation artifacts at
+// the scales we use.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace d2tree {
+
+/// Stateless SplitMix64 step; used for seeding and cheap hash mixing.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic random engine.
+///
+/// Satisfies UniformRandomBitGenerator, so it can be used with <random>
+/// distributions, but the convenience members below avoid the per-call
+/// distribution-object overhead on hot paths.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit lanes from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5EEDC0DEULL) noexcept { Seed(seed); }
+
+  void Seed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& lane : state_) lane = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    NextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool NextBool(double p) noexcept { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean) noexcept;
+
+  /// Derives an independent child generator; convenient for giving each
+  /// simulated component its own stream.
+  Rng Fork() noexcept { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace d2tree

@@ -1,0 +1,58 @@
+#include "d2tree/common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace d2tree {
+
+void RunningStats::Add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Percentile(std::span<const double> values, double q) {
+  assert(!values.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double CoefficientOfVariation(std::span<const double> values) {
+  RunningStats s;
+  for (double v : values) s.Add(v);
+  return s.mean() != 0.0 ? s.stddev() / s.mean() : 0.0;
+}
+
+double JainFairness(std::span<const double> values) {
+  assert(!values.empty());
+  double sum = 0.0, sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sq += v * v;
+  }
+  if (sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sq);
+}
+
+}  // namespace d2tree

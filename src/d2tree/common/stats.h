@@ -1,0 +1,42 @@
+// Small statistics helpers used throughout metrics, benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace d2tree {
+
+/// Welford-style streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// q-th percentile (q in [0,1]) by linear interpolation; copies + sorts.
+double Percentile(std::span<const double> values, double q);
+
+/// Coefficient of variation (stddev / mean); 0 if the mean is 0.
+double CoefficientOfVariation(std::span<const double> values);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1 is perfectly fair.
+double JainFairness(std::span<const double> values);
+
+}  // namespace d2tree

@@ -1,0 +1,36 @@
+// Zipf-distributed sampling over ranks 0..n-1.
+//
+// Realistic metadata workloads are heavily skewed (Sec. I of the paper:
+// "realistic workloads of severely skewed access"); we use Zipf(theta)
+// popularity when synthesizing traces. Rank 0 is the most popular item.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "d2tree/common/rng.h"
+
+namespace d2tree {
+
+/// Samples ranks from a Zipf distribution with exponent `theta` >= 0 over
+/// `n` items via a precomputed inverse CDF (O(log n) per draw).
+/// theta == 0 degenerates to the uniform distribution.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double theta);
+
+  /// Draws a rank in [0, n).
+  std::size_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank `k`.
+  double Pmf(std::size_t k) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); back() == 1.0
+};
+
+}  // namespace d2tree

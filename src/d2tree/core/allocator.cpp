@@ -1,0 +1,163 @@
+#include "d2tree/core/allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "d2tree/common/hash.h"
+#include "d2tree/common/random_walk.h"
+
+namespace d2tree {
+
+namespace {
+
+/// Cumulative capacity shares c_k (the Pr(Y) staircase of Fig. 4).
+std::vector<double> CapacityShares(const std::vector<double>& capacities) {
+  double total = 0.0;
+  for (double c : capacities) {
+    assert(c >= 0.0);
+    total += c;
+  }
+  assert(total > 0.0 && "at least one MDS must have remaining capacity");
+  std::vector<double> shares(capacities.size());
+  double acc = 0.0;
+  for (std::size_t k = 0; k < capacities.size(); ++k) {
+    acc += capacities[k];
+    shares[k] = acc / total;
+  }
+  shares.back() = 1.0;
+  return shares;
+}
+
+/// First MDS whose interval (c_{k-1}, c_k] contains `x`, skipping MDSs with
+/// zero remaining capacity (their interval is empty).
+MdsId MdsForIndex(const std::vector<double>& capacity_shares,
+                  const std::vector<double>& capacities, double x) {
+  auto it = std::lower_bound(capacity_shares.begin(), capacity_shares.end(), x);
+  std::size_t k = it == capacity_shares.end()
+                      ? capacity_shares.size() - 1
+                      : static_cast<std::size_t>(it - capacity_shares.begin());
+  while (k + 1 < capacities.size() && capacities[k] <= 0.0) ++k;
+  if (capacities[k] <= 0.0) {
+    // x landed past every positive-capacity MDS; walk back to the last one.
+    while (k > 0 && capacities[k] <= 0.0) --k;
+  }
+  return static_cast<MdsId>(k);
+}
+
+/// Per-subtree weights for the popularity staircase. A pool of all-zero
+/// popularity degenerates to equal weights so division still spreads by
+/// count.
+std::vector<double> SubtreeWeights(const std::vector<Subtree>& subtrees) {
+  std::vector<double> w(subtrees.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < subtrees.size(); ++i) {
+    w[i] = subtrees[i].popularity;
+    total += w[i];
+  }
+  if (total <= 0.0) std::fill(w.begin(), w.end(), 1.0);
+  return w;
+}
+
+}  // namespace
+
+std::vector<MdsId> MirrorDivisionExact(const std::vector<Subtree>& subtrees,
+                                       const std::vector<double>& remaining_capacities,
+                                       SubtreeOrder order) {
+  std::vector<MdsId> owner(subtrees.size(), 0);
+  if (subtrees.empty()) return owner;
+  const auto capacity_shares = CapacityShares(remaining_capacities);
+
+  // Lay the subtrees along the CDF axis.
+  std::vector<std::size_t> layout(subtrees.size());
+  std::iota(layout.begin(), layout.end(), 0);
+  if (order == SubtreeOrder::kPopularityDesc) {
+    std::stable_sort(layout.begin(), layout.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return subtrees[a].popularity > subtrees[b].popularity;
+                     });
+  }  // kDfs: `subtrees` is already in namespace DFS order (ExtractLayers).
+
+  const auto weights = SubtreeWeights(subtrees);
+  double total = 0.0;
+  for (std::size_t i : layout) total += weights[i];
+  double acc = 0.0;
+  for (std::size_t pos = 0; pos < layout.size(); ++pos) {
+    const std::size_t i = layout[pos];
+    // Use the interval midpoint of Δ_i's own mass as its index: robust to
+    // one subtree spanning several MDS intervals.
+    const double mid = (acc + weights[i] / 2.0) / total;
+    acc += weights[i];
+    owner[i] = MdsForIndex(capacity_shares, remaining_capacities, mid);
+  }
+  return owner;
+}
+
+std::vector<MdsId> MirrorDivisionSampled(const std::vector<Subtree>& subtrees,
+                                         const std::vector<double>& remaining_capacities,
+                                         std::size_t sample_count, Rng& rng) {
+  std::vector<MdsId> owner(subtrees.size(), 0);
+  if (subtrees.empty()) return owner;
+  if (sample_count == 0 || sample_count >= subtrees.size()) {
+    return MirrorDivisionExact(subtrees, remaining_capacities,
+                               SubtreeOrder::kPopularityDesc);
+  }
+  const auto capacity_shares = CapacityShares(remaining_capacities);
+
+  // Uniform sample of the pending pool. (The paper mixes a random walk to
+  // uniformity — RandomWalkSampler — before sampling; over an indexable
+  // pool the stationary draw is exactly a uniform index sample.)
+  const auto sample_idx = UniformIndexSample(rng, subtrees.size(), sample_count);
+  std::vector<double> sampled_pop;
+  sampled_pop.reserve(sample_count);
+  for (std::size_t i : sample_idx) sampled_pop.push_back(subtrees[i].popularity);
+  std::sort(sampled_pop.begin(), sampled_pop.end(),
+            std::greater<double>());  // descending popularity
+
+  // Suffix mass: cum_mass[r] = share of sampled mass in ranks [0, r).
+  std::vector<double> cum_mass(sample_count + 1, 0.0);
+  for (std::size_t r = 0; r < sample_count; ++r)
+    cum_mass[r + 1] = cum_mass[r] + sampled_pop[r];
+  const double total_mass = cum_mass.back();
+
+  for (std::size_t i = 0; i < subtrees.size(); ++i) {
+    const double s = subtrees[i].popularity;
+    double f;
+    if (total_mass <= 0.0) {
+      // Degenerate pool: spread by hashed position.
+      f = static_cast<double>(MixHash(subtrees[i].root)) * 0x1.0p-64;
+    } else {
+      // F̃(s) = sampled mass strictly hotter than s, plus a deterministic
+      // fraction of the mass tied at s (hash tie-break keeps equal-hot
+      // subtrees spread instead of stacking on one MDS).
+      const auto hotter = static_cast<std::size_t>(
+          std::lower_bound(sampled_pop.begin(), sampled_pop.end(), s,
+                           std::greater<double>()) -
+          sampled_pop.begin());
+      auto tie_end = hotter;
+      while (tie_end < sample_count && sampled_pop[tie_end] == s) ++tie_end;
+      const double tie_mass = cum_mass[tie_end] - cum_mass[hotter];
+      const double u = static_cast<double>(MixHash(subtrees[i].root)) * 0x1.0p-64;
+      f = (cum_mass[hotter] + tie_mass * u) / total_mass;
+      // A subtree hotter than everything sampled maps near 0; one colder
+      // maps near 1 — both still land in a valid interval below.
+      f = std::clamp(f, 0.0, 1.0);
+    }
+    owner[i] = MdsForIndex(capacity_shares, remaining_capacities,
+                           std::max(f, 1e-12));
+  }
+  return owner;
+}
+
+std::vector<MdsId> AllocateSubtrees(const std::vector<Subtree>& subtrees,
+                                    const std::vector<double>& remaining_capacities,
+                                    const AllocationConfig& config) {
+  if (config.sample_count == 0) {
+    return MirrorDivisionExact(subtrees, remaining_capacities, config.order);
+  }
+  Rng rng(config.seed);
+  return MirrorDivisionSampled(subtrees, remaining_capacities,
+                               config.sample_count, rng);
+}
+
+}  // namespace d2tree

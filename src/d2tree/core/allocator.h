@@ -1,0 +1,63 @@
+// Subtree-Allocation: the mirror-division strategy (Sec. IV-B, Fig. 4).
+//
+// Two cumulative staircases are matched against each other: the subtrees'
+// cumulative popularity shares (Pr(X) in Fig. 4) and the MDSs' cumulative
+// remaining-capacity shares (Pr(Y)). Subtree Δ_i goes to the MDS whose
+// capacity interval contains Δ_i's cumulative index, so every MDS receives
+// popularity proportional to its remaining capacity.
+//
+// The sampled variant is what MDSs actually run at scale (Sec. IV-B,
+// Sec. V): each allocation uses the empirical CDF of a uniform random-walk
+// sample of the pending pool instead of the full pool; Thms. 2–4 bound the
+// resulting load error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "d2tree/common/rng.h"
+#include "d2tree/core/layers.h"
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+/// Order in which subtrees are laid along the CDF axis before division.
+enum class SubtreeOrder : std::uint8_t {
+  /// Descending popularity — the order Fig. 4 depicts.
+  kPopularityDesc,
+  /// Namespace DFS order — keeps sibling subtrees on the same MDS
+  /// (locality-friendlier; compared in bench/ablation_ordering).
+  kDfs,
+};
+
+struct AllocationConfig {
+  SubtreeOrder order = SubtreeOrder::kPopularityDesc;
+  /// 0 = exact mirror division over the full pool. Otherwise each
+  /// division uses an empirical CDF built from this many uniform samples.
+  std::size_t sample_count = 0;
+  std::uint64_t seed = 0xA110C;
+};
+
+/// Assigns each subtree (index-aligned with `subtrees`) to one MDS.
+/// `remaining_capacities` holds R_k >= 0 for every MDS; at least one must
+/// be positive.
+std::vector<MdsId> AllocateSubtrees(const std::vector<Subtree>& subtrees,
+                                    const std::vector<double>& remaining_capacities,
+                                    const AllocationConfig& config);
+
+/// Exact mirror division (Fig. 4) over subtrees already laid out in
+/// `order`. Exposed for tests and the sampling-error bench.
+std::vector<MdsId> MirrorDivisionExact(const std::vector<Subtree>& subtrees,
+                                       const std::vector<double>& remaining_capacities,
+                                       SubtreeOrder order);
+
+/// Sampled mirror division: popularity cutoffs between MDS bands are
+/// estimated from `sample_count` uniform samples of the pool (Eq. 10 with
+/// the empirical F̃_Δ of Thm. 2). Falls back to exact when the pool is
+/// smaller than the sample budget.
+std::vector<MdsId> MirrorDivisionSampled(const std::vector<Subtree>& subtrees,
+                                         const std::vector<double>& remaining_capacities,
+                                         std::size_t sample_count, Rng& rng);
+
+}  // namespace d2tree

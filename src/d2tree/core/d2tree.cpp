@@ -1,0 +1,110 @@
+#include "d2tree/core/d2tree.h"
+
+#include <cassert>
+
+namespace d2tree {
+
+D2TreeScheme::D2TreeScheme(D2TreeConfig config)
+    : config_(std::move(config)), monitor_(config_.monitor) {}
+
+SplitResult D2TreeScheme::RunSplit(const NamespaceTree& tree) const {
+  if (config_.explicit_bounds.has_value())
+    return SplitTree(tree, *config_.explicit_bounds);
+  return SplitTreeToProportion(tree, config_.global_fraction);
+}
+
+Assignment D2TreeScheme::BuildAssignment(const NamespaceTree& tree) const {
+  Assignment a;  // mds_count is filled in by the caller
+  a.owner.assign(tree.size(), kReplicated);
+  // Every node starts "replicated"; then each subtree paints its unit.
+  for (std::size_t i = 0; i < layers_.subtrees.size(); ++i) {
+    const MdsId o = subtree_owner_[i];
+    tree.VisitSubtree(layers_.subtrees[i].root,
+                      [&](NodeId v) { a.owner[v] = o; });
+  }
+  return a;
+}
+
+std::vector<double> D2TreeScheme::GlobalLayerBaseLoads(
+    const NamespaceTree& tree, std::size_t mds_count) const {
+  // Queries whose target lives in the global layer are served by any
+  // replica (Sec. IV-A2), so each MDS carries an even 1/M share of that
+  // routed traffic.
+  double gl_load = 0.0;
+  for (NodeId id : layers_.global_layer)
+    gl_load += tree.node(id).individual_popularity;
+  return std::vector<double>(mds_count,
+                             gl_load / static_cast<double>(mds_count));
+}
+
+Assignment D2TreeScheme::Partition(const NamespaceTree& tree,
+                                   const MdsCluster& cluster) {
+  assert(cluster.size() > 0);
+  split_ = RunSplit(tree);
+  assert(split_.feasible && "Alg. 1 found no feasible global layer");
+  layers_ = ExtractLayers(tree, split_.global_layer);
+
+  // Initial allocation: all MDSs are empty, so R_k = C_k (Sec. IV-B).
+  subtree_owner_ = AllocateSubtrees(layers_.subtrees, cluster.capacities,
+                                    config_.allocation);
+  index_ = LocalIndex(layers_, subtree_owner_);
+
+  Assignment a = BuildAssignment(tree);
+  a.mds_count = cluster.size();
+  return a;
+}
+
+RebalanceResult D2TreeScheme::Rebalance(const NamespaceTree& tree,
+                                        const MdsCluster& cluster,
+                                        const Assignment& current) {
+  ++rebalance_calls_;
+  const bool need_full_build =
+      layers_.in_global.size() != tree.size() ||
+      subtree_owner_.size() != layers_.subtrees.size() ||
+      (config_.resplit_period > 0 &&
+       rebalance_calls_ % config_.resplit_period == 0);
+  if (need_full_build) {
+    RebalanceResult r;
+    r.assignment = Partition(tree, cluster);
+    r.moved_nodes = CountMovedNodes(current, r.assignment);
+    return r;
+  }
+
+  // Refresh subtree popularity from the tree (the MDSs' decayed counters
+  // have been folded into the tree by the caller).
+  for (Subtree& s : layers_.subtrees)
+    s.popularity = tree.node(s.root).subtree_popularity;
+
+  // Heartbeats: every MDS reports its load to the Monitor.
+  const auto base = GlobalLayerBaseLoads(tree, cluster.size());
+  {
+    std::vector<double> loads = base;
+    for (std::size_t i = 0; i < layers_.subtrees.size(); ++i) {
+      const MdsId o = subtree_owner_[i];
+      if (o >= 0 && static_cast<std::size_t>(o) < loads.size())
+        loads[o] += layers_.subtrees[i].popularity;
+    }
+    double total_load = 0.0;
+    for (double l : loads) total_load += l;
+    const double mu = total_load / cluster.TotalCapacity();
+    for (MdsId k = 0; k < static_cast<MdsId>(cluster.size()); ++k)
+      monitor_.ReceiveHeartbeat(
+          {k, loads[k], loads[k] - mu * cluster.capacities[k]});
+  }
+
+  const auto migrations =
+      monitor_.PlanAdjustment(layers_.subtrees, subtree_owner_, base, cluster);
+
+  RebalanceResult r;
+  r.moved_nodes = 0;
+  for (const Migration& mv : migrations) {
+    subtree_owner_[mv.subtree_index] = mv.to;
+    r.moved_nodes += layers_.subtrees[mv.subtree_index].node_count;
+  }
+  index_ = LocalIndex(layers_, subtree_owner_);
+  r.assignment = BuildAssignment(tree);
+  r.assignment.mds_count = cluster.size();
+  return r;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,84 @@
+// D2TreeScheme — the paper's contribution as a Partitioner (Sec. IV).
+//
+// Partition() = Tree-Splitting (Alg. 1) + layer extraction + mirror-division
+// Subtree-Allocation; Rebalance() = one Dynamic-Adjustment round through the
+// Monitor (heartbeats → pending pool → capacity-proportional pulls), plus a
+// rare global-layer re-split (ResplitEpoch, the paper runs it "typically
+// once a day").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "d2tree/core/allocator.h"
+#include "d2tree/core/layers.h"
+#include "d2tree/core/local_index.h"
+#include "d2tree/core/monitor.h"
+#include "d2tree/core/splitter.h"
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+struct D2TreeConfig {
+  /// Target global-layer proportion of the namespace. The paper's default
+  /// across Sec. VI is 1%: "We chose proper U0 and L0 to make global layer
+  /// account for 1% nodes of the whole namespace tree."
+  double global_fraction = 0.01;
+  /// If set, split by explicit (L0, U0) bounds instead of the proportion.
+  std::optional<SplitConfig> explicit_bounds;
+  AllocationConfig allocation;
+  MonitorConfig monitor;
+  /// Rebalance() re-runs Alg. 1 every this many calls (0 = never); models
+  /// the daily global-layer adjustment.
+  std::size_t resplit_period = 0;
+};
+
+class D2TreeScheme : public Partitioner {
+ public:
+  explicit D2TreeScheme(D2TreeConfig config = {});
+
+  std::string_view name() const override { return "D2-Tree"; }
+
+  /// Full build: split, extract layers, allocate subtrees against empty
+  /// MDSs (R_k = C_k), build the local index.
+  Assignment Partition(const NamespaceTree& tree,
+                       const MdsCluster& cluster) override;
+
+  /// One dynamic-adjustment round against refreshed popularity on `tree`.
+  /// Handles cluster growth (new MDSs pull load) and shrink (subtrees of
+  /// departed MDSs land in the pending pool). Falls back to a full
+  /// Partition when no prior state exists or the namespace changed shape.
+  RebalanceResult Rebalance(const NamespaceTree& tree,
+                            const MdsCluster& cluster,
+                            const Assignment& current) override;
+
+  /// Split/layer/index state of the latest build (valid after Partition).
+  const SplitResult& split() const noexcept { return split_; }
+  const SplitLayers& layers() const noexcept { return layers_; }
+  const LocalIndex& local_index() const noexcept { return index_; }
+  const std::vector<MdsId>& subtree_owners() const noexcept {
+    return subtree_owner_;
+  }
+  Monitor& monitor() noexcept { return monitor_; }
+
+  const D2TreeConfig& config() const noexcept { return config_; }
+
+ private:
+  SplitResult RunSplit(const NamespaceTree& tree) const;
+  Assignment BuildAssignment(const NamespaceTree& tree) const;
+  /// GL query traffic is served by any replica: each MDS carries 1/M of it.
+  std::vector<double> GlobalLayerBaseLoads(const NamespaceTree& tree,
+                                           std::size_t mds_count) const;
+
+  D2TreeConfig config_;
+  SplitResult split_;
+  SplitLayers layers_;
+  std::vector<MdsId> subtree_owner_;
+  LocalIndex index_;
+  Monitor monitor_;
+  std::size_t rebalance_calls_ = 0;
+};
+
+}  // namespace d2tree

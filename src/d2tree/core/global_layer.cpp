@@ -1,0 +1,46 @@
+#include "d2tree/core/global_layer.h"
+
+#include <cassert>
+
+namespace d2tree {
+
+GlobalLayerManager::GlobalLayerManager(std::size_t mds_count,
+                                       GlobalLayerConfig config)
+    : config_(config),
+      replica_version_(mds_count, 0),
+      replica_fresh_at_(mds_count, 0.0) {
+  assert(mds_count > 0);
+}
+
+std::uint64_t GlobalLayerManager::ApplyUpdate(double now) {
+  ++master_version_;
+  for (std::size_t k = 0; k < replica_version_.size(); ++k) {
+    replica_version_[k] = master_version_;
+    // Later of: this propagation, or an in-flight one still landing.
+    const double lands = now + config_.propagation_delay;
+    if (lands > replica_fresh_at_[k]) replica_fresh_at_[k] = lands;
+  }
+  return master_version_;
+}
+
+bool GlobalLayerManager::ReplicaFresh(MdsId mds, double now) const {
+  assert(mds >= 0 && static_cast<std::size_t>(mds) < replica_version_.size());
+  return now >= replica_fresh_at_[mds];
+}
+
+std::uint64_t GlobalLayerManager::ReplicaVersion(MdsId mds, double now) const {
+  assert(mds >= 0 && static_cast<std::size_t>(mds) < replica_version_.size());
+  // Before the propagation lands the replica still serves the previous
+  // version.
+  if (now >= replica_fresh_at_[mds]) return replica_version_[mds];
+  return replica_version_[mds] > 0 ? replica_version_[mds] - 1 : 0;
+}
+
+std::size_t GlobalLayerManager::StaleReplicaCount(double now) const {
+  std::size_t stale = 0;
+  for (std::size_t k = 0; k < replica_version_.size(); ++k)
+    if (now < replica_fresh_at_[k]) ++stale;
+  return stale;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,65 @@
+// Global-layer replication manager (Sec. IV-A2, IV-A3).
+//
+// The global layer is replicated to every MDS; consistency uses the version
+// number / timeout / lease mechanisms of GFS. This class tracks, in virtual
+// time, the master version of the replicated crown, each replica's applied
+// version and each client cache's lease, so the simulator (and tests) can
+// observe staleness windows and the cost of update propagation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+struct GlobalLayerConfig {
+  /// One-way propagation delay from the updating MDS/monitor to a replica.
+  double propagation_delay = 0.001;
+  /// Client cache lease duration; after expiry a client must revalidate.
+  double lease_duration = 1.0;
+};
+
+class GlobalLayerManager {
+ public:
+  GlobalLayerManager(std::size_t mds_count, GlobalLayerConfig config = {});
+
+  std::size_t mds_count() const noexcept { return replica_version_.size(); }
+  std::uint64_t master_version() const noexcept { return master_version_; }
+
+  /// Applies a global-layer update at `now`: bumps the master version and
+  /// schedules every replica to converge at now + propagation_delay.
+  /// Returns the new master version.
+  std::uint64_t ApplyUpdate(double now);
+
+  /// A replica is fresh when every scheduled propagation has landed.
+  bool ReplicaFresh(MdsId mds, double now) const;
+
+  /// Replica's applied version at `now`.
+  std::uint64_t ReplicaVersion(MdsId mds, double now) const;
+
+  std::size_t StaleReplicaCount(double now) const;
+
+  /// Grants a client lease at `now`; returns its expiry.
+  double GrantLease(double now) const {
+    return now + config_.lease_duration;
+  }
+
+  /// A client read of the global layer through a lease taken at
+  /// `lease_granted_at` is valid at `now` iff the lease has not expired.
+  bool LeaseValid(double lease_granted_at, double now) const {
+    return now <= lease_granted_at + config_.lease_duration;
+  }
+
+  const GlobalLayerConfig& config() const noexcept { return config_; }
+
+ private:
+  GlobalLayerConfig config_;
+  std::uint64_t master_version_ = 0;
+  std::vector<std::uint64_t> replica_version_;
+  std::vector<double> replica_fresh_at_;  // virtual time the version lands
+};
+
+}  // namespace d2tree

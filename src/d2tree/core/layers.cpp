@@ -1,0 +1,52 @@
+#include "d2tree/core/layers.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace d2tree {
+
+std::pair<double, double> SplitLayers::PopularityRange() const {
+  if (subtrees.empty()) return {0.0, 0.0};
+  double lo = subtrees.front().popularity, hi = lo;
+  for (const auto& s : subtrees) {
+    lo = std::min(lo, s.popularity);
+    hi = std::max(hi, s.popularity);
+  }
+  return {lo, hi};
+}
+
+SplitLayers ExtractLayers(const NamespaceTree& tree,
+                          const std::vector<NodeId>& global_layer) {
+  SplitLayers layers;
+  layers.in_global.assign(tree.size(), false);
+  layers.global_layer = global_layer;
+  for (NodeId id : global_layer) {
+    assert(id < tree.size());
+    layers.in_global[id] = true;
+  }
+  assert(!global_layer.empty() && layers.in_global[tree.root()] &&
+         "global layer must contain the root");
+
+  // Walk GL nodes in DFS order so subtrees come out in namespace order
+  // (needed by the DFS mirror-division policy).
+  for (NodeId id : tree.PreorderNodes()) {
+    if (!layers.in_global[id]) continue;
+    assert((id == tree.root() || layers.in_global[tree.node(id).parent]) &&
+           "global layer must be parent-closed");
+    bool is_inter = false;
+    for (NodeId c : tree.node(id).children) {
+      if (layers.in_global[c]) continue;
+      is_inter = true;
+      Subtree s;
+      s.root = c;
+      s.inter_parent = id;
+      s.popularity = tree.node(c).subtree_popularity;
+      s.node_count = tree.SubtreeSize(c);
+      layers.subtrees.push_back(s);
+    }
+    if (is_inter) layers.inter_nodes.push_back(id);
+  }
+  return layers;
+}
+
+}  // namespace d2tree

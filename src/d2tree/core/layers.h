@@ -1,0 +1,41 @@
+// Layer bookkeeping after Tree-Splitting: inter nodes and local-layer
+// subtrees (Sec. IV-A1).
+//
+// An *inter node* is a global-layer node with at least one child below the
+// cut line; each such child roots an indivisible local-layer subtree Δ_i
+// whose popularity s_i is the total popularity of its root.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "d2tree/nstree/tree.h"
+
+namespace d2tree {
+
+struct Subtree {
+  NodeId root = kInvalidNode;          // first local-layer node of Δ_i
+  NodeId inter_parent = kInvalidNode;  // its parent inter node (in GL)
+  double popularity = 0.0;             // s_i = p_{root} (Sec. IV-A1)
+  std::size_t node_count = 0;          // |Δ_i|
+};
+
+struct SplitLayers {
+  /// in_global[id] — node is in the replicated global layer.
+  std::vector<bool> in_global;
+  std::vector<NodeId> global_layer;  // GL node set
+  std::vector<NodeId> inter_nodes;   // GL nodes with local-layer children
+  std::vector<Subtree> subtrees;     // the H local-layer units, DFS order
+
+  std::size_t subtree_count() const noexcept { return subtrees.size(); }
+
+  /// Min/max subtree popularity (the L and U of Lemma 1); {0,0} if empty.
+  std::pair<double, double> PopularityRange() const;
+};
+
+/// Derives layers from a global-layer node set (the output of SplitTree).
+/// `global_layer` must contain the root and be parent-closed.
+SplitLayers ExtractLayers(const NamespaceTree& tree,
+                          const std::vector<NodeId>& global_layer);
+
+}  // namespace d2tree

@@ -1,0 +1,46 @@
+#include "d2tree/core/local_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace d2tree {
+
+LocalIndex::LocalIndex(const SplitLayers& layers,
+                       const std::vector<MdsId>& owners) {
+  assert(owners.size() == layers.subtrees.size());
+  for (std::size_t i = 0; i < layers.subtrees.size(); ++i) {
+    const Subtree& s = layers.subtrees[i];
+    SetOwner(s.root, s.inter_parent, owners[i]);
+  }
+}
+
+void LocalIndex::SetOwner(NodeId subtree_root, NodeId inter_parent,
+                          MdsId owner) {
+  assert(owner >= 0);
+  const bool existed = subtree_owner_.contains(subtree_root);
+  subtree_owner_[subtree_root] = owner;
+  if (!existed) inter_children_[inter_parent].push_back(subtree_root);
+}
+
+std::optional<MdsId> LocalIndex::OwnerOfSubtree(NodeId subtree_root) const {
+  const auto it = subtree_owner_.find(subtree_root);
+  if (it == subtree_owner_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NodeId> LocalIndex::SubtreesOf(NodeId id) const {
+  const auto it = inter_children_.find(id);
+  return it == inter_children_.end() ? std::vector<NodeId>{} : it->second;
+}
+
+std::optional<MdsId> LocalIndex::Route(const NamespaceTree& tree,
+                                       NodeId target) const {
+  // Check the target itself last so ancestors (the subtree root closest to
+  // the global layer) win, mirroring the prefix walk of Sec. IV-A2.
+  for (NodeId a : tree.AncestorsOf(target)) {
+    if (auto owner = OwnerOfSubtree(a)) return owner;
+  }
+  return OwnerOfSubtree(target);
+}
+
+}  // namespace d2tree

@@ -1,0 +1,53 @@
+// Local index: inter node → subtree placements (Sec. IV-A1, IV-A2).
+//
+// "In order to find which MDS an inter node's subtrees lie, we construct a
+// local index for all the roots of subtrees to allow a quick search."
+// Clients cache this index; the access logic of Sec. IV-A2 walks a query
+// path's prefixes through it — a hit routes the query straight to the
+// owning MDS, a miss means the target is in the replicated global layer and
+// any MDS will do.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "d2tree/core/layers.h"
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+class LocalIndex {
+ public:
+  LocalIndex() = default;
+
+  /// Builds the index from extracted layers plus the subtree→MDS owners
+  /// (index-aligned with layers.subtrees).
+  LocalIndex(const SplitLayers& layers, const std::vector<MdsId>& owners);
+
+  /// Registers/updates one subtree placement.
+  void SetOwner(NodeId subtree_root, NodeId inter_parent, MdsId owner);
+
+  /// MDS owning the subtree rooted at `subtree_root`; nullopt if that node
+  /// does not root a registered subtree.
+  std::optional<MdsId> OwnerOfSubtree(NodeId subtree_root) const;
+
+  bool IsInterNode(NodeId id) const { return inter_children_.contains(id); }
+
+  /// Subtree roots hanging below inter node `id` (empty if not inter).
+  std::vector<NodeId> SubtreesOf(NodeId id) const;
+
+  /// The access logic of Sec. IV-A2: walks root→target and returns the
+  /// owner of the first subtree root found on the path. nullopt = every
+  /// prefix is in the global layer, so the target is GL-resident and any
+  /// MDS can serve it.
+  std::optional<MdsId> Route(const NamespaceTree& tree, NodeId target) const;
+
+  std::size_t subtree_count() const noexcept { return subtree_owner_.size(); }
+
+ private:
+  std::unordered_map<NodeId, MdsId> subtree_owner_;
+  std::unordered_map<NodeId, std::vector<NodeId>> inter_children_;
+};
+
+}  // namespace d2tree

@@ -1,0 +1,110 @@
+#include "d2tree/core/monitor.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "d2tree/core/allocator.h"
+
+namespace d2tree {
+
+Monitor::Monitor(MonitorConfig config)
+    : config_(config), rng_(config.seed) {}
+
+void Monitor::ReceiveHeartbeat(const Heartbeat& hb) {
+  for (auto& b : beats_) {
+    if (b.mds == hb.mds) {
+      b = hb;
+      return;
+    }
+  }
+  beats_.push_back(hb);
+}
+
+std::vector<Migration> Monitor::PlanAdjustment(
+    const std::vector<Subtree>& subtrees, const std::vector<MdsId>& owners,
+    const std::vector<double>& base_loads, const MdsCluster& cluster) {
+  assert(owners.size() == subtrees.size());
+  assert(base_loads.size() == cluster.size());
+  const auto m = static_cast<MdsId>(cluster.size());
+
+  // Current loads; subtrees owned by departed/unknown MDSs go straight to
+  // the pending pool.
+  std::vector<double> loads = base_loads;
+  std::vector<std::vector<std::size_t>> owned(cluster.size());
+  std::vector<std::size_t> pool;
+  for (std::size_t i = 0; i < subtrees.size(); ++i) {
+    const MdsId o = owners[i];
+    if (o < 0 || o >= m) {
+      pool.push_back(i);
+    } else {
+      owned[o].push_back(i);
+      loads[o] += subtrees[i].popularity;
+    }
+  }
+
+  double total_load = 0.0;
+  for (double l : loads) total_load += l;
+  const double total_cap = cluster.TotalCapacity();
+  const double mu = total_cap > 0.0 ? total_load / total_cap : 0.0;
+
+  // Heavy MDSs offer subtrees (coldest first, so one migration can't flip
+  // the server from heavy to light) until they reach their ideal load.
+  for (MdsId k = 0; k < m; ++k) {
+    const double ideal = mu * cluster.capacities[k];
+    if (loads[k] <= (1.0 + config_.overload_tolerance) * ideal) continue;
+    auto& mine = owned[k];
+    std::sort(mine.begin(), mine.end(), [&](std::size_t a, std::size_t b) {
+      return subtrees[a].popularity > subtrees[b].popularity;
+    });
+    // One hottest-first pass; skip any victim whose departure would leave
+    // the server far *below* ideal (that is how dynamic-subtree thrashing
+    // starts, Sec. II).
+    for (auto it = mine.begin(); it != mine.end() && loads[k] > ideal;) {
+      const double after = loads[k] - subtrees[*it].popularity;
+      if (after < ideal * 0.5) {
+        ++it;
+        continue;
+      }
+      pool.push_back(*it);
+      loads[k] = after;
+      it = mine.erase(it);
+    }
+  }
+  last_pool_size_ = pool.size();
+
+  std::vector<Migration> migrations;
+  if (pool.empty()) return migrations;
+
+  // Light MDSs pull from the pool proportionally to their remaining
+  // deficit, via mirror division over the pooled subtrees (Eq. 10).
+  std::vector<double> deficits(cluster.size(), 0.0);
+  double total_deficit = 0.0;
+  for (MdsId k = 0; k < m; ++k) {
+    deficits[k] = std::max(0.0, mu * cluster.capacities[k] - loads[k]);
+    total_deficit += deficits[k];
+  }
+  if (total_deficit <= 0.0) {
+    // Everyone is at/above ideal (numerically possible after evictions from
+    // departed servers): spread by capacity instead.
+    deficits = cluster.capacities;
+  }
+
+  std::vector<Subtree> pooled;
+  pooled.reserve(pool.size());
+  for (std::size_t i : pool) pooled.push_back(subtrees[i]);
+  const auto targets =
+      config_.sample_count > 0
+          ? MirrorDivisionSampled(pooled, deficits, config_.sample_count, rng_)
+          : MirrorDivisionExact(pooled, deficits,
+                                SubtreeOrder::kPopularityDesc);
+
+  migrations.reserve(pool.size());
+  for (std::size_t j = 0; j < pool.size(); ++j) {
+    const std::size_t i = pool[j];
+    if (owners[i] == targets[j]) continue;  // offered but pulled back home
+    migrations.push_back({i, owners[i], targets[j]});
+  }
+  return migrations;
+}
+
+}  // namespace d2tree

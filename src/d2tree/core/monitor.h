@@ -1,0 +1,80 @@
+// The cluster Monitor (Sec. IV-A3, IV-B Dynamic-Adjustment).
+//
+// D2-Tree deliberately avoids Ceph-style self-organizing MDSs: a single
+// Monitor (like Ceph's OSD monitor) accepts heartbeats, keeps a *pending
+// pool* of subtrees offered by overloaded servers, and lets lightly loaded
+// or newly added servers pull from the pool using the mirror-division rule
+// (Eq. 10). It also tracks cluster membership changes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "d2tree/common/rng.h"
+#include "d2tree/core/layers.h"
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+/// Periodic heartbeat an MDS sends to the Monitor: current load L_k and
+/// relative capacity Re_k = L_k − μ·C_k (Sec. III-B).
+struct Heartbeat {
+  MdsId mds = 0;
+  double load = 0.0;
+  double relative_capacity = 0.0;
+};
+
+/// One planned subtree movement.
+struct Migration {
+  std::size_t subtree_index = 0;
+  MdsId from = kReplicated;  // kReplicated marks "not previously placed"
+  MdsId to = 0;
+};
+
+struct MonitorConfig {
+  /// An MDS is *heavy* when L_k > (1 + overload_tolerance) · μ · C_k and
+  /// offloads down to its ideal load; symmetric slack keeps the plan from
+  /// thrashing on small fluctuations.
+  double overload_tolerance = 0.10;
+  /// Sampled mirror division for pulls (0 = exact over the pool).
+  std::size_t sample_count = 0;
+  std::uint64_t seed = 0x5EED;
+};
+
+class Monitor {
+ public:
+  explicit Monitor(MonitorConfig config = {});
+
+  /// Records the newest heartbeat for `hb.mds` (older ones are replaced).
+  void ReceiveHeartbeat(const Heartbeat& hb);
+  const std::vector<Heartbeat>& heartbeats() const noexcept { return beats_; }
+
+  /// Plans one dynamic-adjustment round.
+  ///
+  /// `subtrees`   — the local-layer units with *fresh* popularity
+  ///                (decayed counters folded in by the caller);
+  /// `owners`     — current owner per subtree; an entry that is out of
+  ///                range for `cluster` (removed/failed MDS) or negative
+  ///                (unplaced) is treated as already in the pending pool;
+  /// `base_loads` — per-MDS load not coming from subtrees (the global
+  ///                layer's evenly spread query traffic);
+  /// `cluster`    — capacities, possibly larger than before (new MDSs).
+  ///
+  /// Returns the migrations; `owners` is not modified.
+  std::vector<Migration> PlanAdjustment(const std::vector<Subtree>& subtrees,
+                                        const std::vector<MdsId>& owners,
+                                        const std::vector<double>& base_loads,
+                                        const MdsCluster& cluster);
+
+  /// Size of the pending pool at the peak of the last planning round.
+  std::size_t last_pool_size() const noexcept { return last_pool_size_; }
+
+ private:
+  MonitorConfig config_;
+  Rng rng_;
+  std::vector<Heartbeat> beats_;
+  std::size_t last_pool_size_ = 0;
+};
+
+}  // namespace d2tree

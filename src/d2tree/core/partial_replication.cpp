@@ -1,0 +1,63 @@
+#include "d2tree/core/partial_replication.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "d2tree/common/hash.h"
+
+namespace d2tree {
+
+PartialGlobalLayer::PartialGlobalLayer(const SplitLayers& layers,
+                                       std::size_t mds_count,
+                                       std::size_t degree)
+    : mds_count_(mds_count),
+      degree_(std::clamp<std::size_t>(degree, 1, mds_count)) {
+  assert(mds_count > 0);
+  is_global_ = layers.in_global;
+  slot_.assign(is_global_.size(), UINT32_MAX);
+  replicas_.reserve(layers.global_layer.size());
+
+  std::vector<std::pair<std::uint64_t, MdsId>> scores(mds_count);
+  for (NodeId id : layers.global_layer) {
+    // Rendezvous hashing: MDS k's score for node id; the top-`degree`
+    // scorers hold the replica.
+    for (std::size_t k = 0; k < mds_count; ++k) {
+      scores[k] = {MixHash(HashCombine(MixHash(id) ^ 0x6C0FFEEULL,
+                                       static_cast<std::uint64_t>(k))),
+                   static_cast<MdsId>(k)};
+    }
+    std::nth_element(scores.begin(), scores.begin() + (degree_ - 1),
+                     scores.end(), std::greater<>());
+    std::vector<MdsId> replicas(degree_);
+    for (std::size_t r = 0; r < degree_; ++r) replicas[r] = scores[r].second;
+    std::sort(replicas.begin(), replicas.end());
+    slot_[id] = static_cast<std::uint32_t>(replicas_.size());
+    replicas_.push_back(std::move(replicas));
+  }
+}
+
+const std::vector<MdsId>& PartialGlobalLayer::ReplicasOf(NodeId id) const {
+  assert(IsGlobal(id));
+  return replicas_[slot_[id]];
+}
+
+MdsId PartialGlobalLayer::PickReplica(NodeId id, Rng& rng) const {
+  const auto& reps = ReplicasOf(id);
+  return reps[rng.NextBounded(reps.size())];
+}
+
+bool PartialGlobalLayer::Holds(NodeId id, MdsId mds) const {
+  if (!IsGlobal(id)) return false;
+  const auto& reps = ReplicasOf(id);
+  return std::binary_search(reps.begin(), reps.end(), mds);
+}
+
+double PartialGlobalLayer::UpdateCost(const NamespaceTree& tree) const {
+  double cost = 0.0;
+  for (NodeId id = 0; id < is_global_.size() && id < tree.size(); ++id)
+    if (is_global_[id]) cost += tree.node(id).update_cost;
+  return cost * static_cast<double>(degree_) /
+         static_cast<double>(mds_count_);
+}
+
+}  // namespace d2tree

@@ -1,0 +1,63 @@
+// Partial global-layer replication (the Sec. VII extension).
+//
+// "There are several strategies to deal with such scenarios [update-heavy
+// workloads at scale], like … setting a threshold to control the number of
+// replications of global layer; we will put this in our future work."
+//
+// This module implements that future work: each global-layer node is
+// replicated to `degree` ≤ M servers chosen by rendezvous (highest-random-
+// weight) hashing, so replica sets are deterministic, near-uniformly
+// spread, and stable under cluster growth (adding a server only steals the
+// nodes it now wins). Queries pick one replica; updates lock and broadcast
+// to `degree` servers instead of all M — trading balance smoothing for
+// update overhead. bench/ablation_replication quantifies the trade.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "d2tree/common/rng.h"
+#include "d2tree/core/layers.h"
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+class PartialGlobalLayer {
+ public:
+  /// Builds replica sets for every node of `layers.global_layer` over
+  /// `mds_count` servers. `degree` is clamped to [1, mds_count].
+  PartialGlobalLayer(const SplitLayers& layers, std::size_t mds_count,
+                     std::size_t degree);
+
+  std::size_t degree() const noexcept { return degree_; }
+  std::size_t mds_count() const noexcept { return mds_count_; }
+
+  bool IsGlobal(NodeId id) const {
+    return id < is_global_.size() && is_global_[id];
+  }
+
+  /// The `degree` servers holding node `id` (sorted). `id` must be a
+  /// global-layer node.
+  const std::vector<MdsId>& ReplicasOf(NodeId id) const;
+
+  /// A uniformly random replica of `id` (query-side load spreading).
+  MdsId PickReplica(NodeId id, Rng& rng) const;
+
+  /// True if MDS `mds` holds a replica of `id`.
+  bool Holds(NodeId id, MdsId mds) const;
+
+  /// Total update cost under partial replication: Σ_{GL} u_j · degree/M —
+  /// each update touches `degree` replicas instead of all M (Def. 4 scaled
+  /// by the replication threshold).
+  double UpdateCost(const NamespaceTree& tree) const;
+
+ private:
+  std::size_t mds_count_;
+  std::size_t degree_;
+  std::vector<bool> is_global_;
+  // Dense replica table: replicas_[slot(id)] holds `degree` entries.
+  std::vector<std::uint32_t> slot_;  // per node; UINT32_MAX if not GL
+  std::vector<std::vector<MdsId>> replicas_;
+};
+
+}  // namespace d2tree

@@ -1,0 +1,76 @@
+#include "d2tree/core/splitter.h"
+
+#include <cassert>
+#include <queue>
+
+namespace d2tree {
+
+namespace {
+
+struct FrontierEntry {
+  double popularity;
+  NodeId node;
+  bool operator<(const FrontierEntry& o) const {
+    // Max-heap on popularity; break ties on NodeId for determinism.
+    if (popularity != o.popularity) return popularity < o.popularity;
+    return node > o.node;
+  }
+};
+
+SplitResult GreedySplit(const NamespaceTree& tree, const SplitConfig& config) {
+  SplitResult result;
+  result.global_layer.push_back(tree.root());
+  result.update_cost = 0.0;  // Alg. 1 starts Utmp at 0 (root is free)
+
+  // Ltmp = Σ p_j over every node initially in the local layer (all but the
+  // root). Note Σ_{j≠root} p_j counts each access once per path node — the
+  // same weighting Eq. (7) uses.
+  double locality_cost = 0.0;
+  for (NodeId id = 1; id < tree.size(); ++id)
+    locality_cost += tree.node(id).subtree_popularity;
+
+  std::priority_queue<FrontierEntry> frontier;  // S of Alg. 1
+  for (NodeId c : tree.node(tree.root()).children)
+    frontier.push({tree.node(c).subtree_popularity, c});
+
+  while (!frontier.empty() &&
+         result.global_layer.size() < config.max_global_nodes) {
+    const FrontierEntry top = frontier.top();
+    // Alg. 1 line 5–6: charge the candidate's update cost and stop if the
+    // budget would be met or exceeded (the candidate is NOT promoted).
+    const double next_update =
+        result.update_cost + tree.node(top.node).update_cost;
+    if (next_update >= config.update_cost_bound) break;
+    frontier.pop();
+
+    result.update_cost = next_update;
+    result.global_layer.push_back(top.node);
+    locality_cost -= top.popularity;
+    for (NodeId c : tree.node(top.node).children)
+      frontier.push({tree.node(c).subtree_popularity, c});
+  }
+
+  result.locality_cost = locality_cost;
+  result.feasible = locality_cost <= config.locality_cost_bound;
+  if (!result.feasible) result.global_layer.clear();  // Alg. 1 line 11
+  return result;
+}
+
+}  // namespace
+
+SplitResult SplitTree(const NamespaceTree& tree, const SplitConfig& config) {
+  return GreedySplit(tree, config);
+}
+
+SplitResult SplitTreeToProportion(const NamespaceTree& tree, double fraction) {
+  assert(fraction > 0.0 && fraction <= 1.0);
+  SplitConfig config;
+  config.max_global_nodes = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(tree.size())));
+  SplitResult r = GreedySplit(tree, config);
+  // With no budget bounds the greedy run is always feasible.
+  assert(r.feasible);
+  return r;
+}
+
+}  // namespace d2tree

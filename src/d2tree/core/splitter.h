@@ -1,0 +1,55 @@
+// Tree-Splitting (Alg. 1): greedy namespace decomposition into the global
+// layer (replicated crown) and the local layer (subtrees).
+//
+// Starting from GL = {root}, the algorithm repeatedly promotes the frontier
+// node with the biggest total popularity p_j. Promoting a node improves
+// locality (its popularity leaves the local layer, Eq. 7) but spends update
+// budget (its u_j joins the replicated set, Def. 4). The loop stops when
+// the update budget U0 would be exceeded; the result is valid only if the
+// remaining locality cost meets the bound L0.
+//
+// Note on conventions (DESIGN.md §5): the paper's `locality` is the
+// reciprocal of a cost; Alg. 1's `L0` bounds the *cost* Σ_{LL} p_j, and
+// that is what `locality_cost_bound` means here.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "d2tree/nstree/tree.h"
+
+namespace d2tree {
+
+struct SplitConfig {
+  /// L0: the split is feasible only if Σ_{n_j ∈ LL} p_j ends up <= this.
+  double locality_cost_bound = std::numeric_limits<double>::infinity();
+  /// U0: promotion stops before Σ_{n_j ∈ GL} u_j reaches this.
+  double update_cost_bound = std::numeric_limits<double>::infinity();
+  /// Optional extra stop: cap the global layer at this many nodes
+  /// (size_t max = no cap). Used to target a GL proportion (Figs. 8–9).
+  std::size_t max_global_nodes = std::numeric_limits<std::size_t>::max();
+};
+
+struct SplitResult {
+  /// Nodes promoted to the global layer, in promotion order; the root is
+  /// always first. Empty iff infeasible (Alg. 1 line 11 returns {}).
+  std::vector<NodeId> global_layer;
+  bool feasible = false;
+  /// Final Σ_{LL} p_j (the Ltmp of Alg. 1).
+  double locality_cost = 0.0;
+  /// Final Σ_{GL} u_j (the Utmp of Alg. 1, counting only promoted nodes).
+  double update_cost = 0.0;
+};
+
+/// Runs Alg. 1 on `tree` (subtree_popularity must be up to date).
+/// The global layer is always a connected crown containing the root.
+SplitResult SplitTree(const NamespaceTree& tree, const SplitConfig& config);
+
+/// Fig. 8 helper: promotes greedily until the global layer reaches
+/// `fraction` of all nodes (no budget bounds) and reports the implied
+/// constraint values — the locality cost (L0) and update cost (U0) that
+/// this proportion corresponds to.
+SplitResult SplitTreeToProportion(const NamespaceTree& tree, double fraction);
+
+}  // namespace d2tree

@@ -1,0 +1,213 @@
+#include "d2tree/mds/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace d2tree {
+
+FunctionalCluster::FunctionalCluster(const NamespaceTree& tree,
+                                     std::size_t mds_count,
+                                     D2TreeConfig config)
+    : tree_(tree),
+      capacities_(MdsCluster::Homogeneous(mds_count)),
+      scheme_(std::move(config)) {
+  assert(mds_count > 0);
+  assignment_ = scheme_.Partition(tree_, capacities_);
+  servers_.reserve(mds_count);
+  for (std::size_t k = 0; k < mds_count; ++k)
+    servers_.push_back(std::make_unique<MdsServer>(static_cast<MdsId>(k)));
+  Materialize();
+}
+
+InodeRecord FunctionalCluster::MakeRecord(NodeId id) const {
+  const MetaNode& n = tree_.node(id);
+  InodeRecord r;
+  r.id = id;
+  r.parent = n.parent;
+  r.name = n.name;
+  r.type = n.type;
+  r.attrs.mode = n.is_directory() ? 0755 : 0644;
+  r.attrs.size = n.is_directory() ? 4096 : 1024;
+  r.version = 1;
+  return r;
+}
+
+void FunctionalCluster::Materialize() {
+  gl_master_version_ = 1;
+  for (NodeId id = 0; id < tree_.size(); ++id) {
+    const InodeRecord record = MakeRecord(id);
+    const MdsId owner = assignment_.OwnerOf(id);
+    if (owner == kReplicated) {
+      for (auto& server : servers_) server->global_replica().Put(record);
+    } else {
+      servers_[owner]->local().Put(record);
+    }
+  }
+  for (auto& server : servers_) server->set_gl_version(gl_master_version_);
+}
+
+FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
+                                                          MdsId at) {
+  ClientResult out;
+  const auto ancestors = tree_.AncestorsOf(target);
+  MdsOpResult r = servers_[at]->Stat(target, ancestors);
+  out.hops = 1;
+  out.served_by = at;
+  if (r.status == MdsStatus::kWrongServer) {
+    // Forward to the authoritative owner (the receiving server consults
+    // its copy of the local index — here: the cluster's).
+    ++forwards_;
+    const MdsId owner = assignment_.OwnerOf(target);
+    const MdsId retry = owner == kReplicated ? at : owner;
+    if (retry != at) {
+      r = servers_[retry]->Stat(target, ancestors);
+      out.hops = 2;
+      out.served_by = retry;
+    }
+  }
+  out.status = r.status;
+  out.record = r.record;
+  return out;
+}
+
+FunctionalCluster::ClientResult FunctionalCluster::Stat(
+    const std::string& path) {
+  NodeId target;
+  MdsId at;
+  {
+    std::lock_guard lock(client_mu_);
+    target = tree_.Resolve(path);
+    if (target == kInvalidNode) return {};
+    tree_.AddAccess(target);
+    const auto owner = scheme_.local_index().Route(tree_, target);
+    at = owner.has_value()
+             ? *owner
+             : static_cast<MdsId>(rng_.NextBounded(servers_.size()));
+  }
+  return StatAt(target, at);
+}
+
+FunctionalCluster::ClientResult FunctionalCluster::StatVia(
+    const std::string& path, MdsId via) {
+  NodeId target;
+  {
+    std::lock_guard lock(client_mu_);
+    target = tree_.Resolve(path);
+    if (target == kInvalidNode) return {};
+    tree_.AddAccess(target);
+  }
+  return StatAt(target, via);
+}
+
+FunctionalCluster::ClientResult FunctionalCluster::Update(
+    const std::string& path, std::uint64_t mtime) {
+  ClientResult out;
+  NodeId target;
+  std::vector<NodeId> ancestors;
+  {
+    std::lock_guard lock(client_mu_);
+    target = tree_.Resolve(path);
+    if (target == kInvalidNode) return out;
+    tree_.AddAccess(target);
+    ancestors = tree_.AncestorsOf(target);
+  }
+
+  if (assignment_.IsReplicated(target)) {
+    // Global-layer update: lock, bump the master version, write every
+    // replica before acking (Sec. IV-A3).
+    std::lock_guard lock(gl_mu_);
+    ++gl_master_version_;
+    for (auto& server : servers_) {
+      server->global_replica().Mutate(target, mtime);
+      server->set_gl_version(gl_master_version_);
+    }
+    out.status = MdsStatus::kOk;
+    out.served_by = 0;  // any replica can answer; pick deterministically
+    out.record = *servers_[out.served_by]->global_replica().Get(target);
+    return out;
+  }
+
+  const MdsId owner = assignment_.OwnerOf(target);
+  const MdsOpResult r = servers_[owner]->UpdateLocal(target, ancestors, mtime);
+  out.status = r.status;
+  out.record = r.record;
+  out.served_by = owner;
+  return out;
+}
+
+std::size_t FunctionalCluster::RunAdjustmentRound() {
+  tree_.RecomputeSubtreePopularity();
+  const auto owners_before = scheme_.subtree_owners();
+  const RebalanceResult plan =
+      scheme_.Rebalance(tree_, capacities_, assignment_);
+  const auto& owners_after = scheme_.subtree_owners();
+  const auto& subtrees = scheme_.layers().subtrees;
+
+  // Physically move each migrated subtree's records.
+  std::size_t moved_records = 0;
+  for (std::size_t i = 0; i < subtrees.size(); ++i) {
+    const MdsId from = owners_before[i];
+    const MdsId to = owners_after[i];
+    if (from == to) continue;
+    std::vector<NodeId> members;
+    members.reserve(subtrees[i].node_count);
+    tree_.VisitSubtree(subtrees[i].root,
+                       [&](NodeId v) { members.push_back(v); });
+    auto records = servers_[from]->local().ExtractAll(members);
+    moved_records += records.size();
+    servers_[to]->local().InsertAll(records);
+  }
+  assignment_ = plan.assignment;
+  return moved_records;
+}
+
+bool FunctionalCluster::CheckConsistency(std::string* error) const {
+  const auto fail = [&](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  // Per-node placement audit.
+  for (NodeId id = 0; id < tree_.size(); ++id) {
+    if (assignment_.IsReplicated(id)) {
+      for (const auto& server : servers_) {
+        if (!server->global_replica().Contains(id))
+          return fail("GL node " + tree_.PathOf(id) + " missing on server " +
+                      std::to_string(server->id()));
+        if (server->local().Contains(id))
+          return fail("GL node " + tree_.PathOf(id) + " duplicated locally");
+      }
+    } else {
+      std::size_t holders = 0;
+      for (const auto& server : servers_) {
+        holders += server->local().Contains(id);
+        if (server->global_replica().Contains(id))
+          return fail("LL node " + tree_.PathOf(id) + " found in a GL replica");
+      }
+      if (holders != 1)
+        return fail("LL node " + tree_.PathOf(id) + " held by " +
+                    std::to_string(holders) + " servers");
+      const MdsId owner = assignment_.OwnerOf(id);
+      if (!servers_[owner]->local().Contains(id))
+        return fail("LL node " + tree_.PathOf(id) + " not at its owner");
+    }
+  }
+  // Replica versions.
+  for (const auto& server : servers_) {
+    if (server->gl_version() != gl_master_version_)
+      return fail("server " + std::to_string(server->id()) +
+                  " GL replica at stale version");
+  }
+  // Record ↔ namespace agreement (spot fields).
+  for (NodeId id = 0; id < tree_.size(); ++id) {
+    const MdsId owner = assignment_.OwnerOf(id);
+    const auto rec = owner == kReplicated
+                         ? servers_[0]->global_replica().Get(id)
+                         : servers_[owner]->local().Get(id);
+    if (!rec.has_value()) return fail("record lost for " + tree_.PathOf(id));
+    if (rec->name != tree_.node(id).name || rec->parent != tree_.node(id).parent)
+      return fail("record mismatch for " + tree_.PathOf(id));
+  }
+  return true;
+}
+
+}  // namespace d2tree

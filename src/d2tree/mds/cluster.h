@@ -1,0 +1,95 @@
+// The functional MDS cluster: D2-Tree partitioning executed for real.
+//
+// Wraps M MdsServers, materializes a namespace into their stores (global
+// layer replicated everywhere, each local-layer subtree on its owner),
+// implements the client access logic of Sec. IV-A2 against live stores,
+// serializes global-layer updates through a lock + replica broadcast, and
+// *physically* executes the Monitor's dynamic-adjustment migrations by
+// moving records between stores. A consistency auditor verifies the
+// cluster invariants after any sequence of operations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "d2tree/core/d2tree.h"
+#include "d2tree/mds/server.h"
+#include "d2tree/nstree/tree.h"
+
+namespace d2tree {
+
+class FunctionalCluster {
+ public:
+  /// Partitions `tree` (popularity must be charged) across `mds_count`
+  /// servers and loads every record into the right stores.
+  FunctionalCluster(const NamespaceTree& tree, std::size_t mds_count,
+                    D2TreeConfig config = {});
+
+  std::size_t mds_count() const noexcept { return servers_.size(); }
+  MdsServer& server(MdsId id) { return *servers_[id]; }
+  const MdsServer& server(MdsId id) const { return *servers_[id]; }
+  const D2TreeScheme& scheme() const noexcept { return scheme_; }
+  const Assignment& assignment() const noexcept { return assignment_; }
+
+  struct ClientResult {
+    MdsStatus status = MdsStatus::kNotFound;
+    InodeRecord record;
+    MdsId served_by = -1;
+    int hops = 1;  // servers contacted
+  };
+
+  /// Client read (Sec. IV-A2): consult the cached local index; a hit goes
+  /// straight to the subtree owner, a miss means global layer → any
+  /// server. Also charges the access for dynamic adjustment.
+  ClientResult Stat(const std::string& path);
+
+  /// Like Stat but deliberately entering at `via` — exercises the
+  /// forwarding path (stale client knowledge).
+  ClientResult StatVia(const std::string& path, MdsId via);
+
+  /// Client update: local-layer targets mutate at the owner; global-layer
+  /// targets take the GL lock, bump the master version and write every
+  /// replica before returning (Sec. IV-A3).
+  ClientResult Update(const std::string& path, std::uint64_t mtime);
+
+  /// One dynamic-adjustment round: recompute popularity from charged
+  /// accesses, plan with the Monitor, and *physically move* the affected
+  /// subtree records between stores. Returns the number of migrated
+  /// records.
+  std::size_t RunAdjustmentRound();
+
+  /// Audits the invariants: every namespace node stored exactly once in
+  /// local stores XOR on every server's GL replica; all GL replicas at the
+  /// master version; record/namespace agreement. Returns true when clean;
+  /// otherwise fills `error`.
+  bool CheckConsistency(std::string* error) const;
+
+  std::uint64_t gl_master_version() const noexcept { return gl_master_version_; }
+  std::uint64_t total_forwards() const noexcept { return forwards_.load(); }
+
+ private:
+  InodeRecord MakeRecord(NodeId id) const;
+  void Materialize();
+  ClientResult StatAt(NodeId target, MdsId at);
+
+  NamespaceTree tree_;  // private copy: accrues access popularity
+  MdsCluster capacities_;
+  D2TreeScheme scheme_;
+  Assignment assignment_;
+  std::vector<std::unique_ptr<MdsServer>> servers_;
+
+  std::mutex gl_mu_;  // the ZooKeeper-style global-layer write lock
+  std::uint64_t gl_master_version_ = 0;
+  std::atomic<std::uint64_t> forwards_{0};
+  /// Guards the client-side bookkeeping (popularity charging, rng) so
+  /// multiple client threads can drive the cluster concurrently; server
+  /// stores have their own locks.
+  mutable std::mutex client_mu_;
+  Rng rng_{0xC1057E2ULL};
+};
+
+}  // namespace d2tree

@@ -1,0 +1,51 @@
+// Metadata records served by the functional MDS cluster.
+//
+// The partition layer decides *where* a node lives; this layer is the
+// *what*: POSIX-ish inode attributes plus the versioning used for
+// replica/cache consistency (Sec. IV-A2's "version number, timeout and
+// lease mechanism").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "d2tree/nstree/node.h"
+
+namespace d2tree {
+
+struct InodeAttributes {
+  std::uint32_t mode = 0644;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::uint64_t size = 0;
+  std::uint64_t mtime = 0;  // seconds
+  std::uint64_t ctime = 0;
+
+  bool operator==(const InodeAttributes&) const = default;
+};
+
+/// One stored metadata record. `parent` + `name` carry the namespace edge
+/// so a store can be audited independently of the tree object.
+struct InodeRecord {
+  NodeId id = kInvalidNode;
+  NodeId parent = kInvalidNode;
+  std::string name;
+  NodeType type = NodeType::kFile;
+  InodeAttributes attrs;
+  /// Bumped on every mutation; replicas/caches compare versions.
+  std::uint64_t version = 0;
+
+  bool operator==(const InodeRecord&) const = default;
+};
+
+/// Outcome of one metadata operation against the cluster.
+enum class MdsStatus : std::uint8_t {
+  kOk = 0,
+  kNotFound,        // no such node on this server (routing bug or races)
+  kNotPermitted,    // permission check failed along the path
+  kWrongServer,     // request must be forwarded (carries the target)
+};
+
+const char* MdsStatusName(MdsStatus status);
+
+}  // namespace d2tree

@@ -1,0 +1,53 @@
+#include "d2tree/mds/server.h"
+
+namespace d2tree {
+
+bool MdsServer::CheckAncestors(std::span<const NodeId> ancestors) const {
+  for (NodeId a : ancestors) {
+    if (!CanRead(a)) return false;
+  }
+  return true;
+}
+
+MdsOpResult MdsServer::Stat(NodeId target,
+                            std::span<const NodeId> ancestors) const {
+  ++ops_;
+  MdsOpResult result;
+  auto record = global_.Get(target);
+  if (!record.has_value()) record = local_.Get(target);
+  if (!record.has_value()) {
+    result.status = MdsStatus::kWrongServer;
+    return result;
+  }
+  // POSIX traversal: every ancestor must be visible here. With an intact
+  // subtree plus the replicated crown this always holds for correctly
+  // routed requests; a violation means the request was misrouted.
+  if (!CheckAncestors(ancestors)) {
+    result.status = MdsStatus::kWrongServer;
+    return result;
+  }
+  result.status = MdsStatus::kOk;
+  result.record = *record;
+  return result;
+}
+
+MdsOpResult MdsServer::UpdateLocal(NodeId target,
+                                   std::span<const NodeId> ancestors,
+                                   std::uint64_t mtime) {
+  ++ops_;
+  MdsOpResult result;
+  if (!local_.Contains(target)) {
+    result.status = MdsStatus::kWrongServer;
+    return result;
+  }
+  if (!CheckAncestors(ancestors)) {
+    result.status = MdsStatus::kWrongServer;
+    return result;
+  }
+  local_.Mutate(target, mtime);
+  result.status = MdsStatus::kOk;
+  result.record = *local_.Get(target);
+  return result;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,66 @@
+// A functional metadata server: owns local-layer records, holds a replica
+// of the global layer, performs POSIX-style permission checks along the
+// ancestor chain, and answers or forwards requests (Sec. IV-A2 access
+// logic, executed for real rather than simulated in virtual time).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "d2tree/mds/store.h"
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+struct MdsOpResult {
+  MdsStatus status = MdsStatus::kNotFound;
+  InodeRecord record;  // valid when status == kOk
+};
+
+class MdsServer {
+ public:
+  explicit MdsServer(MdsId id) : id_(id) {}
+
+  MdsId id() const noexcept { return id_; }
+
+  /// Authoritative local-layer records this server owns.
+  MetadataStore& local() noexcept { return local_; }
+  const MetadataStore& local() const noexcept { return local_; }
+
+  /// This server's replica of the global layer.
+  MetadataStore& global_replica() noexcept { return global_; }
+  const MetadataStore& global_replica() const noexcept { return global_; }
+
+  /// Version of the global layer this replica has applied.
+  std::uint64_t gl_version() const noexcept { return gl_version_.load(); }
+  void set_gl_version(std::uint64_t v) noexcept { gl_version_.store(v); }
+
+  /// Reads `target` after checking every ancestor is readable *from this
+  /// server* (each must be in the GL replica or owned locally): the
+  /// pathname traversal + permission check of Sec. III-A.
+  /// kWrongServer = this server cannot see the target (caller forwards).
+  MdsOpResult Stat(NodeId target, std::span<const NodeId> ancestors) const;
+
+  /// Mutates a locally-owned record (local-layer update). Global-layer
+  /// updates go through the cluster (lock + broadcast), not here.
+  MdsOpResult UpdateLocal(NodeId target, std::span<const NodeId> ancestors,
+                          std::uint64_t mtime);
+
+  /// Operations served (monitoring).
+  std::uint64_t ops_served() const noexcept { return ops_.load(); }
+
+ private:
+  bool CanRead(NodeId id) const {
+    return global_.Contains(id) || local_.Contains(id);
+  }
+  bool CheckAncestors(std::span<const NodeId> ancestors) const;
+
+  MdsId id_;
+  MetadataStore local_;
+  MetadataStore global_;
+  std::atomic<std::uint64_t> gl_version_{0};
+  mutable std::atomic<std::uint64_t> ops_{0};
+};
+
+}  // namespace d2tree

@@ -1,0 +1,86 @@
+#include "d2tree/mds/store.h"
+
+namespace d2tree {
+
+const char* MdsStatusName(MdsStatus status) {
+  switch (status) {
+    case MdsStatus::kOk:
+      return "ok";
+    case MdsStatus::kNotFound:
+      return "not-found";
+    case MdsStatus::kNotPermitted:
+      return "not-permitted";
+    case MdsStatus::kWrongServer:
+      return "wrong-server";
+  }
+  return "?";
+}
+
+void MetadataStore::Put(const InodeRecord& record) {
+  std::lock_guard lock(mu_);
+  records_[record.id] = record;
+}
+
+std::optional<InodeRecord> MetadataStore::Get(NodeId id) const {
+  std::lock_guard lock(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MetadataStore::Contains(NodeId id) const {
+  std::lock_guard lock(mu_);
+  return records_.contains(id);
+}
+
+std::optional<InodeRecord> MetadataStore::Remove(NodeId id) {
+  std::lock_guard lock(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  InodeRecord out = std::move(it->second);
+  records_.erase(it);
+  return out;
+}
+
+std::optional<std::uint64_t> MetadataStore::Mutate(NodeId id,
+                                                   std::uint64_t mtime) {
+  std::lock_guard lock(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  it->second.attrs.mtime = mtime;
+  return ++it->second.version;
+}
+
+std::vector<InodeRecord> MetadataStore::ExtractAll(
+    const std::vector<NodeId>& ids) {
+  std::lock_guard lock(mu_);
+  std::vector<InodeRecord> out;
+  out.reserve(ids.size());
+  for (NodeId id : ids) {
+    const auto it = records_.find(id);
+    if (it == records_.end()) continue;
+    out.push_back(std::move(it->second));
+    records_.erase(it);
+  }
+  return out;
+}
+
+void MetadataStore::InsertAll(const std::vector<InodeRecord>& records) {
+  std::lock_guard lock(mu_);
+  for (const auto& r : records) records_[r.id] = r;
+}
+
+std::size_t MetadataStore::size() const {
+  std::lock_guard lock(mu_);
+  return records_.size();
+}
+
+std::vector<NodeId> MetadataStore::HeldIds() const {
+  std::lock_guard lock(mu_);
+  std::vector<NodeId> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(id);
+  return out;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,58 @@
+// Per-MDS metadata store: the authoritative records a server owns plus its
+// replica of the global layer.
+//
+// Thread-safe (one mutex per store): the functional cluster serves
+// concurrent client threads in tests and examples.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "d2tree/mds/inode.h"
+
+namespace d2tree {
+
+class MetadataStore {
+ public:
+  MetadataStore() = default;
+
+  // Movable only (mutex).
+  MetadataStore(MetadataStore&&) = delete;
+  MetadataStore& operator=(MetadataStore&&) = delete;
+
+  /// Inserts or overwrites a record.
+  void Put(const InodeRecord& record);
+
+  /// Record by node id; nullopt if this store does not hold it.
+  std::optional<InodeRecord> Get(NodeId id) const;
+
+  bool Contains(NodeId id) const;
+
+  /// Removes a record; returns it if present.
+  std::optional<InodeRecord> Remove(NodeId id);
+
+  /// Applies a mutation to a held record: bumps version, stamps mtime.
+  /// Returns the new version, or nullopt if not held.
+  std::optional<std::uint64_t> Mutate(NodeId id, std::uint64_t mtime);
+
+  /// Extracts all records of a subtree given its member ids (migration
+  /// source side); missing ids are skipped.
+  std::vector<InodeRecord> ExtractAll(const std::vector<NodeId>& ids);
+
+  /// Bulk insert (migration target side).
+  void InsertAll(const std::vector<InodeRecord>& records);
+
+  std::size_t size() const;
+
+  /// Snapshot of all held ids (audit/consistency checks).
+  std::vector<NodeId> HeldIds() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, InodeRecord> records_;
+};
+
+}  // namespace d2tree

@@ -1,0 +1,137 @@
+#include "d2tree/metrics/metrics.h"
+
+#include <cassert>
+#include <limits>
+
+namespace d2tree {
+
+std::size_t JumpsFor(const NamespaceTree& tree, const Assignment& assignment,
+                     NodeId target) {
+  // Walk root → target. Replicated nodes in the *middle* of a pinned walk
+  // are transparent (the serving MDS holds a copy), but a path that starts
+  // in the replicated crown is served by a random replica, so descending to
+  // the first owned node costs one hop — this is what gives every
+  // local-layer node jp_j = 1 in Eq. (7). The initial contact with the
+  // first MDS of a non-replicated path is free (it is the request itself).
+  enum : MdsId { kUnpinned = -2, kAnyReplica = -3 };
+  std::size_t jumps = 0;
+  MdsId current = kUnpinned;
+  const auto step = [&](NodeId v) {
+    const MdsId o = assignment.OwnerOf(v);
+    if (o == kReplicated) {
+      if (current == kUnpinned) current = kAnyReplica;
+      return;  // transparent otherwise
+    }
+    if (current == kAnyReplica || (current != kUnpinned && current != o))
+      ++jumps;
+    current = o;
+  };
+  for (NodeId a : tree.AncestorsOf(target)) step(a);
+  step(target);
+  return jumps;
+}
+
+LocalityReport ComputeLocality(const NamespaceTree& tree,
+                               const Assignment& assignment) {
+  assert(assignment.owner.size() == tree.size());
+  LocalityReport report;
+  for (NodeId id = 0; id < tree.size(); ++id) {
+    const double p = tree.node(id).subtree_popularity;
+    if (p <= 0.0) continue;
+    const std::size_t jp = JumpsFor(tree, assignment, id);
+    if (jp > 0) report.cost += static_cast<double>(jp) * p;
+  }
+  report.locality = report.cost > 0.0
+                        ? 1.0 / report.cost
+                        : std::numeric_limits<double>::infinity();
+  return report;
+}
+
+namespace {
+
+std::vector<double> LoadsImpl(const NamespaceTree& tree,
+                              const Assignment& assignment,
+                              bool traversal_weighted) {
+  assert(assignment.mds_count > 0);
+  std::vector<double> loads(assignment.mds_count, 0.0);
+  const double m = static_cast<double>(assignment.mds_count);
+  for (NodeId id = 0; id < tree.size(); ++id) {
+    const MetaNode& n = tree.node(id);
+    const double p =
+        traversal_weighted ? n.subtree_popularity : n.individual_popularity;
+    if (p <= 0.0) continue;
+    const MdsId o = assignment.OwnerOf(id);
+    if (o == kReplicated) {
+      const double share = p / m;
+      for (auto& l : loads) l += share;
+    } else {
+      loads[o] += p;
+    }
+  }
+  return loads;
+}
+
+}  // namespace
+
+std::vector<double> ComputeLoads(const NamespaceTree& tree,
+                                 const Assignment& assignment) {
+  return LoadsImpl(tree, assignment, /*traversal_weighted=*/false);
+}
+
+std::vector<double> ComputeTraversalLoads(const NamespaceTree& tree,
+                                          const Assignment& assignment) {
+  return LoadsImpl(tree, assignment, /*traversal_weighted=*/true);
+}
+
+BalanceReport ComputeBalanceFromLoads(const std::vector<double>& loads,
+                                      const MdsCluster& cluster) {
+  assert(loads.size() == cluster.size());
+  assert(loads.size() >= 2 && "balance degree needs M >= 2 (Eq. 2)");
+  BalanceReport report;
+  report.loads = loads;
+  double total_load = 0.0;
+  for (double l : loads) total_load += l;
+  const double total_cap = cluster.TotalCapacity();
+  report.mu = total_cap > 0.0 ? total_load / total_cap : 0.0;
+
+  report.relative.resize(loads.size());
+  double sum_sq = 0.0;
+  for (std::size_t k = 0; k < loads.size(); ++k) {
+    const double ck = cluster.capacities[k];
+    report.relative[k] = loads[k] - report.mu * ck;
+    const double dev = loads[k] / ck - report.mu;
+    sum_sq += dev * dev;
+  }
+  report.variance_term = sum_sq / static_cast<double>(loads.size() - 1);
+  report.balance = report.variance_term > 0.0
+                       ? 1.0 / report.variance_term
+                       : std::numeric_limits<double>::infinity();
+  return report;
+}
+
+BalanceReport ComputeBalance(const NamespaceTree& tree,
+                             const Assignment& assignment,
+                             const MdsCluster& cluster) {
+  return ComputeBalanceFromLoads(ComputeLoads(tree, assignment), cluster);
+}
+
+double ComputeUpdateCost(const NamespaceTree& tree,
+                         const Assignment& assignment) {
+  double cost = 0.0;
+  for (NodeId id = 0; id < tree.size(); ++id)
+    if (assignment.IsReplicated(id)) cost += tree.node(id).update_cost;
+  return cost;
+}
+
+double ReplicatedHitFraction(const NamespaceTree& tree,
+                             const Assignment& assignment) {
+  double total = 0.0, replicated = 0.0;
+  for (NodeId id = 0; id < tree.size(); ++id) {
+    const double p = tree.node(id).individual_popularity;
+    total += p;
+    if (assignment.IsReplicated(id)) replicated += p;
+  }
+  return total > 0.0 ? replicated / total : 0.0;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,76 @@
+// System-level metrics exactly as the paper defines them (Sec. III).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "d2tree/nstree/tree.h"
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+/// Number of jumps jp_j (Def. 1) incurred when accessing node `target`:
+/// transitions between consecutive nodes of the root→target path that live
+/// on different MDSs. Replicated nodes never force a jump — the serving MDS
+/// always holds a copy.
+std::size_t JumpsFor(const NamespaceTree& tree, const Assignment& assignment,
+                     NodeId target);
+
+struct LocalityReport {
+  /// Σ_j jp_j · p_j — the denominator of Eq. (1); for D2-Tree this reduces
+  /// to Σ_{n_j ∈ LL} p_j (Eq. 7).
+  double cost = 0.0;
+  /// The paper's locality = 1 / cost; +inf when cost == 0 (single server or
+  /// fully replicated).
+  double locality = 0.0;
+};
+
+/// Global locality value of the system (Def. 3) from the popularity charged
+/// on `tree` and the placement in `assignment`.
+LocalityReport ComputeLocality(const NamespaceTree& tree,
+                               const Assignment& assignment);
+
+/// Per-MDS *routed* loads: each query is served by the MDS owning its
+/// target node (prefix permission checks ride on client caches — the
+/// standard assumption for the hash family, Sec. VII), so node n_j
+/// contributes its individual popularity p'_j to its owner. Replicated
+/// nodes can be served by any MDS, so their traffic spreads uniformly.
+/// Note that for a D2-Tree subtree the owner's routed load equals the
+/// subtree popularity s_i the mirror division balances by.
+std::vector<double> ComputeLoads(const NamespaceTree& tree,
+                                 const Assignment& assignment);
+
+/// Literal Def. 5 loads L_k = Σ_{n_j ∈ m_k} p_j with p_j the *total*
+/// popularity — every path hop is charged to the hop's owner (no client
+/// caching). Kept for analysis of the definition itself.
+std::vector<double> ComputeTraversalLoads(const NamespaceTree& tree,
+                                          const Assignment& assignment);
+
+struct BalanceReport {
+  double mu = 0.0;                // ideal load factor μ = ΣL / ΣC
+  double variance_term = 0.0;     // (1/(M-1)) Σ (L_k/C_k − μ)²
+  double balance = 0.0;           // Eq. (2): 1 / variance_term (+inf if 0)
+  std::vector<double> loads;      // L_k
+  std::vector<double> relative;   // Re_k = L_k − μ·C_k
+};
+
+/// Load balance degree (Def. 5 / Eq. 2) from explicit loads.
+BalanceReport ComputeBalanceFromLoads(const std::vector<double>& loads,
+                                      const MdsCluster& cluster);
+
+/// Convenience: ComputeLoads + ComputeBalanceFromLoads.
+BalanceReport ComputeBalance(const NamespaceTree& tree,
+                             const Assignment& assignment,
+                             const MdsCluster& cluster);
+
+/// Total update cost (Def. 4): Σ u_j over the replicated (global-layer)
+/// node set GL. Schemes with no replication have zero update cost.
+double ComputeUpdateCost(const NamespaceTree& tree,
+                         const Assignment& assignment);
+
+/// Fraction of trace-weighted accesses whose target is replicated — the
+/// paper's "queries directed to global layer" statistic (Sec. VI-A).
+double ReplicatedHitFraction(const NamespaceTree& tree,
+                             const Assignment& assignment);
+
+}  // namespace d2tree

@@ -1,0 +1,85 @@
+#include "d2tree/nstree/builder.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace d2tree {
+
+namespace {
+
+/// Directories still eligible to receive children.
+struct OpenDirs {
+  std::vector<NodeId> dirs;          // insertion order == creation order
+  const NamespaceTree* tree;
+  std::uint32_t max_depth;
+  std::uint32_t max_children;
+
+  bool Eligible(NodeId id) const {
+    const MetaNode& n = tree->node(id);
+    return n.depth < max_depth && n.children.size() < max_children;
+  }
+
+  /// Picks a parent: with probability `depth_bias` from the most recent
+  /// eighth of directories (drives depth), otherwise uniformly.
+  NodeId Pick(Rng& rng, double depth_bias) {
+    assert(!dirs.empty());
+    for (;;) {
+      std::size_t idx;
+      if (rng.NextBool(depth_bias) && dirs.size() >= 8) {
+        const std::size_t window = dirs.size() / 8;
+        idx = dirs.size() - 1 - rng.NextBounded(window);
+      } else {
+        idx = rng.NextBounded(dirs.size());
+      }
+      const NodeId id = dirs[idx];
+      if (Eligible(id)) return id;
+      // Swap-remove saturated directories so retries stay cheap.
+      dirs[idx] = dirs.back();
+      dirs.pop_back();
+      assert(!dirs.empty() && "namespace generator ran out of open dirs");
+    }
+  }
+};
+
+}  // namespace
+
+NamespaceTree BuildSyntheticTree(const SyntheticTreeConfig& config, Rng& rng) {
+  assert(config.node_count >= config.max_depth + 1);
+  NamespaceTree tree;
+  OpenDirs open{{tree.root()}, &tree, config.max_depth,
+                config.max_children_per_dir};
+
+  std::size_t dir_seq = 0, file_seq = 0;
+
+  // Wide top level first (user/project/share directories).
+  for (std::uint32_t i = 0;
+       i < config.root_fanout && tree.size() < config.node_count; ++i) {
+    open.dirs.push_back(tree.AddChild(
+        tree.root(), "d" + std::to_string(dir_seq++), NodeType::kDirectory));
+  }
+
+  // Guarantee the configured maximum depth with one directory spine.
+  NodeId spine = open.dirs.size() > 1 ? open.dirs[1] : tree.root();
+  for (std::uint32_t d = tree.node(spine).depth;
+       d < config.max_depth && tree.size() < config.node_count; ++d) {
+    spine = tree.AddChild(spine, "d" + std::to_string(dir_seq++),
+                          NodeType::kDirectory);
+    open.dirs.push_back(spine);
+  }
+
+  while (tree.size() < config.node_count) {
+    const NodeId parent = open.Pick(rng, config.depth_bias);
+    const bool make_dir = rng.NextBool(config.dir_ratio);
+    if (make_dir) {
+      const NodeId id = tree.AddChild(
+          parent, "d" + std::to_string(dir_seq++), NodeType::kDirectory);
+      open.dirs.push_back(id);
+    } else {
+      tree.AddChild(parent, "f" + std::to_string(file_seq++), NodeType::kFile);
+    }
+  }
+  return tree;
+}
+
+}  // namespace d2tree

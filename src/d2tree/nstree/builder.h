@@ -1,0 +1,42 @@
+// Synthetic namespace generation.
+//
+// The paper's namespaces come from three proprietary Microsoft traces
+// (Table I); we rebuild statistically similar hierarchies: configurable
+// node count, maximum depth (49 / 9 / 13 for DTR / LMBE / RA), directory
+// ratio and a depth bias steering how "chimney-like" vs "bushy" the tree
+// grows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "d2tree/common/rng.h"
+#include "d2tree/nstree/tree.h"
+
+namespace d2tree {
+
+struct SyntheticTreeConfig {
+  /// Total number of nodes to create (including the root).
+  std::size_t node_count = 10'000;
+  /// Deepest node depth; the generator guarantees one chain reaches it.
+  std::uint32_t max_depth = 12;
+  /// Fraction of created nodes that are directories.
+  double dir_ratio = 0.25;
+  /// Probability of attaching the next node under a *recently created*
+  /// directory instead of a uniformly random one. Higher values produce
+  /// deeper, chain-ier trees (DTR-like); 0 produces wide flat trees
+  /// (LMBE-like).
+  double depth_bias = 0.3;
+  /// Upper bound on children per directory (GIGA+-style huge directories
+  /// can be modeled by raising this).
+  std::uint32_t max_children_per_dir = 4096;
+  /// Directories pre-created directly under the root before random growth;
+  /// real server namespaces have wide top levels (project/user/share
+  /// directories), which is what lets subtree schemes spread load.
+  std::uint32_t root_fanout = 64;
+};
+
+/// Builds a random namespace satisfying the config. Deterministic in `rng`.
+NamespaceTree BuildSyntheticTree(const SyntheticTreeConfig& config, Rng& rng);
+
+}  // namespace d2tree

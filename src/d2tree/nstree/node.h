@@ -1,0 +1,37 @@
+// Metadata node of the namespace tree (Sec. III-A).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace d2tree {
+
+/// Dense node handle; nodes live in NamespaceTree's arena and are never
+/// deleted (renames/deletes in traces are metadata *operations*, they do not
+/// shrink the modeled namespace).
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+enum class NodeType : std::uint8_t { kDirectory, kFile };
+
+/// One metadata node n_j. Popularity fields follow Def. 2:
+///  * `individual_popularity` is p'_j — accesses addressed to n_j itself;
+///  * `subtree_popularity` is p_j — p'_j plus the popularity funneled
+///    through n_j by its descendants (POSIX traversal touches every
+///    ancestor), i.e. the sum of individual popularity over the subtree.
+struct MetaNode {
+  std::string name;
+  NodeId parent = kInvalidNode;
+  std::uint32_t depth = 0;  // root is depth 0
+  NodeType type = NodeType::kDirectory;
+  std::vector<NodeId> children;
+  double individual_popularity = 0.0;  // p'_j
+  double subtree_popularity = 0.0;     // p_j (valid after aggregation pass)
+  double update_cost = 1.0;            // u_j (Def. 4)
+
+  bool is_directory() const noexcept { return type == NodeType::kDirectory; }
+};
+
+}  // namespace d2tree

@@ -1,0 +1,210 @@
+#include "d2tree/nstree/tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "d2tree/common/hash.h"
+#include "d2tree/common/path_util.h"
+
+namespace d2tree {
+
+NamespaceTree::NamespaceTree() {
+  MetaNode root;
+  root.name = "";
+  root.parent = kInvalidNode;
+  root.depth = 0;
+  root.type = NodeType::kDirectory;
+  nodes_.push_back(std::move(root));
+}
+
+std::uint64_t NamespaceTree::ChildKey(NodeId parent, std::string_view name) {
+  return HashCombine(MixHash(parent), Fnv1a64(name));
+}
+
+NodeId NamespaceTree::FindChild(NodeId parent, std::string_view name) const {
+  const auto [lo, hi] = child_index_.equal_range(ChildKey(parent, name));
+  for (auto it = lo; it != hi; ++it) {
+    const MetaNode& n = nodes_[it->second];
+    if (n.parent == parent && n.name == name) return it->second;
+  }
+  return kInvalidNode;
+}
+
+NodeId NamespaceTree::AddChild(NodeId parent, std::string_view name,
+                               NodeType type) {
+  assert(parent < nodes_.size());
+  assert(nodes_[parent].is_directory() && "files cannot have children");
+  assert(FindChild(parent, name) == kInvalidNode && "duplicate child name");
+  assert(!name.empty());
+  const auto id = static_cast<NodeId>(nodes_.size());
+  MetaNode n;
+  n.name = std::string(name);
+  n.parent = parent;
+  n.depth = nodes_[parent].depth + 1;
+  n.type = type;
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.push_back(id);
+  child_index_.emplace(ChildKey(parent, name), id);
+  return id;
+}
+
+NodeId NamespaceTree::GetOrCreatePath(std::string_view path,
+                                      NodeType leaf_type) {
+  const auto components = SplitPath(path);
+  NodeId cur = root();
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    const bool is_leaf = (i + 1 == components.size());
+    NodeId next = FindChild(cur, components[i]);
+    if (next == kInvalidNode) {
+      next = AddChild(cur, components[i],
+                      is_leaf ? leaf_type : NodeType::kDirectory);
+    }
+    cur = next;
+  }
+  return cur;
+}
+
+void NamespaceTree::Rename(NodeId id, std::string_view new_name) {
+  assert(id != root() && "cannot rename the root");
+  assert(id < nodes_.size());
+  assert(!new_name.empty());
+  MetaNode& n = nodes_[id];
+  assert(FindChild(n.parent, new_name) == kInvalidNode &&
+         "sibling with the new name already exists");
+  // Drop the old (parent, name) index entry...
+  const auto [lo, hi] = child_index_.equal_range(ChildKey(n.parent, n.name));
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == id) {
+      child_index_.erase(it);
+      break;
+    }
+  }
+  // ...and register the new one.
+  n.name = std::string(new_name);
+  child_index_.emplace(ChildKey(n.parent, n.name), id);
+}
+
+NodeId NamespaceTree::Resolve(std::string_view path) const {
+  const auto components = SplitPath(path);
+  NodeId cur = root();
+  for (const auto& c : components) {
+    cur = FindChild(cur, c);
+    if (cur == kInvalidNode) return kInvalidNode;
+  }
+  return cur;
+}
+
+std::string NamespaceTree::PathOf(NodeId id) const {
+  assert(id < nodes_.size());
+  if (id == root()) return "/";
+  std::vector<std::string_view> parts;
+  for (NodeId cur = id; cur != root(); cur = nodes_[cur].parent)
+    parts.push_back(nodes_[cur].name);
+  std::reverse(parts.begin(), parts.end());
+  return JoinPath(parts);
+}
+
+std::vector<NodeId> NamespaceTree::AncestorsOf(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId cur = nodes_[id].parent; cur != kInvalidNode;
+       cur = nodes_[cur].parent)
+    out.push_back(cur);
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void NamespaceTree::AddAccess(NodeId id, double weight) {
+  nodes_[id].individual_popularity += weight;
+}
+
+void NamespaceTree::SetIndividualPopularity(
+    const std::vector<double>& popularity) {
+  if (popularity.size() != nodes_.size())
+    throw std::invalid_argument("popularity vector size mismatch");
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    nodes_[i].individual_popularity = popularity[i];
+}
+
+void NamespaceTree::ResetPopularity() {
+  for (auto& n : nodes_) {
+    n.individual_popularity = 0.0;
+    n.subtree_popularity = 0.0;
+  }
+}
+
+void NamespaceTree::RecomputeSubtreePopularity() {
+  // Children always have larger ids than their parent, so one reverse sweep
+  // aggregates bottom-up.
+  for (auto& n : nodes_) n.subtree_popularity = n.individual_popularity;
+  for (std::size_t i = nodes_.size(); i-- > 1;) {
+    nodes_[nodes_[i].parent].subtree_popularity += nodes_[i].subtree_popularity;
+  }
+}
+
+double NamespaceTree::TotalIndividualPopularity() const {
+  double total = 0.0;
+  for (const auto& n : nodes_) total += n.individual_popularity;
+  return total;
+}
+
+std::size_t NamespaceTree::SubtreeSize(NodeId id) const {
+  std::size_t count = 0;
+  VisitSubtree(id, [&](NodeId) { ++count; });
+  return count;
+}
+
+std::uint32_t NamespaceTree::MaxDepth() const {
+  std::uint32_t max_depth = 0;
+  for (const auto& n : nodes_) max_depth = std::max(max_depth, n.depth);
+  return max_depth;
+}
+
+std::vector<NodeId> NamespaceTree::PreorderNodes() const {
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  VisitSubtree(root(), [&](NodeId v) { order.push_back(v); });
+  return order;
+}
+
+void NamespaceTree::Save(std::ostream& os) const {
+  os << "d2tree-namespace v1 " << nodes_.size() << "\n";
+  // Preorder guarantees parents appear before children on reload.
+  for (NodeId id : PreorderNodes()) {
+    const MetaNode& n = nodes_[id];
+    os << (n.is_directory() ? 'd' : 'f') << ' ' << n.individual_popularity
+       << ' ' << n.update_cost << ' ' << PathOf(id) << "\n";
+  }
+}
+
+NamespaceTree NamespaceTree::Load(std::istream& is) {
+  std::string magic, version;
+  std::size_t count = 0;
+  if (!(is >> magic >> version >> count) || magic != "d2tree-namespace" ||
+      version != "v1")
+    throw std::runtime_error("bad namespace snapshot header");
+  std::string line;
+  std::getline(is, line);  // consume rest of header line
+  NamespaceTree tree;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(is, line))
+      throw std::runtime_error("truncated namespace snapshot");
+    std::istringstream ls(line);
+    char kind = 0;
+    double pop = 0.0, cost = 1.0;
+    std::string path;
+    if (!(ls >> kind >> pop >> cost >> path))
+      throw std::runtime_error("bad namespace snapshot line: " + line);
+    const NodeType type = kind == 'd' ? NodeType::kDirectory : NodeType::kFile;
+    const NodeId id = path == "/" ? tree.root() : tree.GetOrCreatePath(path, type);
+    tree.nodes_[id].individual_popularity = pop;
+    tree.nodes_[id].update_cost = cost;
+  }
+  tree.RecomputeSubtreePopularity();
+  return tree;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,116 @@
+// The namespace tree: the file-system hierarchy all partitioners divide.
+//
+// Nodes are stored in a flat arena; a child's NodeId is always greater than
+// its parent's (children are appended after their parent and nodes are never
+// re-parented), which lets aggregation run as a single reverse sweep.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "d2tree/nstree/node.h"
+
+namespace d2tree {
+
+class NamespaceTree {
+ public:
+  /// Creates a tree holding only the root directory "/".
+  NamespaceTree();
+
+  NodeId root() const noexcept { return 0; }
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  const MetaNode& node(NodeId id) const { return nodes_[id]; }
+
+  /// Looks up a direct child by name; kInvalidNode if absent.
+  NodeId FindChild(NodeId parent, std::string_view name) const;
+
+  /// Appends a new child under `parent`. `parent` must be a directory and
+  /// must not already have a child with this name.
+  NodeId AddChild(NodeId parent, std::string_view name, NodeType type);
+
+  /// Walks `path` from the root, creating missing directories along the way;
+  /// the final component gets `leaf_type`. Returns the leaf node.
+  NodeId GetOrCreatePath(std::string_view path, NodeType leaf_type);
+
+  /// Resolves an absolute path to a node; kInvalidNode if any component is
+  /// missing.
+  NodeId Resolve(std::string_view path) const;
+
+  /// Renames a node in place (same parent). Every descendant's *path*
+  /// changes while the tree structure is untouched — the operation whose
+  /// cost separates pathname-hashing schemes (rehash the whole subtree)
+  /// from subtree-placement schemes (Sec. II). `id` must not be the root
+  /// and `new_name` must not collide with a sibling.
+  void Rename(NodeId id, std::string_view new_name);
+
+  /// Reconstructs the absolute path of a node ("/" for the root).
+  std::string PathOf(NodeId id) const;
+
+  /// Ancestors of `id` ordered root-first, excluding `id` itself (the set
+  /// A_j of Sec. III-A). Empty for the root.
+  std::vector<NodeId> AncestorsOf(NodeId id) const;
+
+  /// Records `weight` accesses addressed to node `id` (bumps p'_j).
+  /// Invalidates the aggregate until RecomputeSubtreePopularity().
+  void AddAccess(NodeId id, double weight = 1.0);
+
+  /// Overwrites p'_j for every node. Sizes must match.
+  void SetIndividualPopularity(const std::vector<double>& popularity);
+
+  void SetUpdateCost(NodeId id, double cost) { nodes_[id].update_cost = cost; }
+
+  /// Clears all p'_j (and the aggregates).
+  void ResetPopularity();
+
+  /// Recomputes p_j = p'_j + sum of children p_j for every node, bottom-up.
+  void RecomputeSubtreePopularity();
+
+  /// Sum of individual popularity over all nodes (equals the root's
+  /// subtree_popularity after aggregation).
+  double TotalIndividualPopularity() const;
+
+  /// Number of nodes in the subtree rooted at `id` (including `id`).
+  std::size_t SubtreeSize(NodeId id) const;
+
+  /// Preorder visit of the subtree rooted at `id`.
+  template <typename Visitor>
+  void VisitSubtree(NodeId id, Visitor&& visit) const {
+    std::vector<NodeId> stack{id};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      visit(v);
+      const auto& kids = nodes_[v].children;
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it)
+        stack.push_back(*it);
+    }
+  }
+
+  /// Maximum node depth in the tree (root is 0).
+  std::uint32_t MaxDepth() const;
+
+  /// Nodes in depth-first (preorder) order from the root; the linearization
+  /// DROP's locality-preserving hashing and the DFS mirror-division policy
+  /// use.
+  std::vector<NodeId> PreorderNodes() const;
+
+  /// Writes/reads a line-oriented text snapshot (paths, types, popularity,
+  /// update costs). Intended for persisting generated namespaces.
+  void Save(std::ostream& os) const;
+  static NamespaceTree Load(std::istream& is);
+
+ private:
+  static std::uint64_t ChildKey(NodeId parent, std::string_view name);
+
+  std::vector<MetaNode> nodes_;
+  // Hash of (parent, name) -> child. Collisions are resolved by verifying
+  // the stored node's actual parent and name.
+  std::unordered_multimap<std::uint64_t, NodeId> child_index_;
+};
+
+}  // namespace d2tree

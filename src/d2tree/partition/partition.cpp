@@ -1,0 +1,41 @@
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+bool Assignment::Validate(const NamespaceTree& tree,
+                          bool require_connected_replicated) const {
+  if (owner.size() != tree.size()) return false;
+  if (mds_count == 0) return false;
+  for (NodeId id = 0; id < owner.size(); ++id) {
+    const MdsId o = owner[id];
+    if (o != kReplicated &&
+        (o < 0 || o >= static_cast<MdsId>(mds_count)))
+      return false;
+    if (require_connected_replicated && o == kReplicated && id != tree.root()) {
+      if (!IsReplicated(tree.node(id).parent)) return false;
+    }
+  }
+  if (require_connected_replicated && !IsReplicated(tree.root())) return false;
+  return true;
+}
+
+std::size_t CountMovedNodes(const Assignment& before, const Assignment& after) {
+  std::size_t moved = 0;
+  const std::size_t n = std::min(before.owner.size(), after.owner.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (before.owner[i] != after.owner[i]) ++moved;
+  // Nodes present only in `after` (namespace growth) count as placements,
+  // not moves.
+  return moved;
+}
+
+RebalanceResult Partitioner::Rebalance(const NamespaceTree& tree,
+                                       const MdsCluster& cluster,
+                                       const Assignment& current) {
+  RebalanceResult r;
+  r.assignment = Partition(tree, cluster);
+  r.moved_nodes = CountMovedNodes(current, r.assignment);
+  return r;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,94 @@
+// Partitioner interface shared by D2-Tree and all baselines (Sec. III-B).
+//
+// A partition maps every metadata node either to exactly one MDS or to the
+// replicated set (D2-Tree's global layer lives on every MDS). All schemes —
+// D2-Tree, static/dynamic subtree, pure hashing, DROP, AngleCut — produce
+// an Assignment, so metrics and the cluster simulator are scheme-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "d2tree/nstree/tree.h"
+
+namespace d2tree {
+
+using MdsId = std::int32_t;
+/// Owner value of a node replicated to every MDS (the global layer).
+inline constexpr MdsId kReplicated = -1;
+
+/// The MDS cluster as the partitioners see it: per-server capacity C_k
+/// (Sec. III-B), i.e. the throughput limit of that server.
+struct MdsCluster {
+  std::vector<double> capacities;
+
+  std::size_t size() const noexcept { return capacities.size(); }
+  double TotalCapacity() const noexcept {
+    double t = 0.0;
+    for (double c : capacities) t += c;
+    return t;
+  }
+
+  static MdsCluster Homogeneous(std::size_t count, double capacity = 1.0) {
+    return MdsCluster{std::vector<double>(count, capacity)};
+  }
+};
+
+/// A weighted M-partition of the N metadata nodes (plus replication).
+struct Assignment {
+  std::vector<MdsId> owner;  // indexed by NodeId; kReplicated or [0, M)
+  std::size_t mds_count = 0;
+
+  bool IsReplicated(NodeId id) const { return owner[id] == kReplicated; }
+  MdsId OwnerOf(NodeId id) const { return owner[id]; }
+
+  std::size_t ReplicatedCount() const {
+    std::size_t n = 0;
+    for (MdsId o : owner)
+      if (o == kReplicated) ++n;
+    return n;
+  }
+
+  /// Checks structural validity against `tree`: one entry per node, owners
+  /// in range, and — when `require_connected_replicated` — the replicated
+  /// set forms a crown containing the root (every replicated node's parent
+  /// is replicated), which D2-Tree's split guarantees.
+  bool Validate(const NamespaceTree& tree,
+                bool require_connected_replicated = false) const;
+};
+
+/// Outcome of a dynamic rebalance round.
+struct RebalanceResult {
+  Assignment assignment;
+  /// Nodes whose owner changed (movement cost proxy, Sec. III-C).
+  std::size_t moved_nodes = 0;
+};
+
+/// Counts nodes whose owner differs between two assignments over the same
+/// tree (replication changes count as moves too).
+std::size_t CountMovedNodes(const Assignment& before, const Assignment& after);
+
+/// Common interface of all metadata partitioning schemes.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Produces an initial assignment from the popularity currently charged
+  /// on `tree` (subtree_popularity must be up to date).
+  virtual Assignment Partition(const NamespaceTree& tree,
+                               const MdsCluster& cluster) = 0;
+
+  /// One dynamic-adjustment round: given refreshed popularity on `tree` and
+  /// the `current` placement, return an updated placement. The default
+  /// re-runs Partition from scratch (what the static schemes conceptually
+  /// do — they just never move anything because placement ignores load).
+  virtual RebalanceResult Rebalance(const NamespaceTree& tree,
+                                    const MdsCluster& cluster,
+                                    const Assignment& current);
+};
+
+}  // namespace d2tree

@@ -1,0 +1,140 @@
+#include "d2tree/sim/cluster_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "d2tree/common/stats.h"
+
+namespace d2tree {
+
+double SimResult::MaxUtilization() const {
+  double u = 0.0;
+  for (double b : server_busy) u = std::max(u, duration > 0 ? b / duration : 0.0);
+  return u;
+}
+
+namespace {
+
+struct ClientEvent {
+  double time;
+  std::uint32_t client;
+  bool operator>(const ClientEvent& o) const {
+    if (time != o.time) return time > o.time;
+    return client > o.client;  // deterministic tie-break
+  }
+};
+
+}  // namespace
+
+SimResult RunClusterSim(const Trace& trace, const RoutePlanner& router,
+                        std::size_t mds_count, const SimConfig& config) {
+  assert(mds_count > 0);
+  assert(!trace.empty());
+  SimResult result;
+  result.server_busy.assign(mds_count, 0.0);
+  result.server_ops.assign(mds_count, 0);
+
+  Rng rng(config.seed);
+  LockTable gl_locks;
+  std::vector<double> server_free(mds_count, 0.0);
+  std::vector<double> latencies;
+  latencies.reserve(config.max_ops);
+
+  // Client c replays records c, c+C, c+2C, … (cycling) so the op mix each
+  // client sees matches the trace's.
+  const std::size_t clients =
+      std::min<std::size_t>(config.client_count, config.max_ops);
+  std::vector<std::size_t> next_op(clients);
+  std::priority_queue<ClientEvent, std::vector<ClientEvent>,
+                      std::greater<ClientEvent>>
+      events;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    next_op[c] = c;
+    // Tiny stagger keeps the start deterministic but not lock-stepped.
+    events.push({static_cast<double>(c) * 1e-6, c});
+  }
+
+  std::size_t issued = 0;
+  double last_completion = 0.0;
+  while (!events.empty()) {
+    const ClientEvent ev = events.top();
+    events.pop();
+    if (issued >= config.max_ops) continue;  // drain remaining clients
+    const TraceRecord& record =
+        trace.records()[next_op[ev.client] % trace.size()];
+    next_op[ev.client] += clients;
+    ++issued;
+
+    const RoutePlan plan = router.PlanRoute(record, rng);
+    assert(!plan.visits.empty());
+    double t = ev.time;
+
+    if (plan.global_update) {
+      // Serialize on the per-node lock; the holder pays the replica
+      // broadcast before releasing (Sec. IV-A3). Under partial
+      // replication only the node's replica set is written.
+      const std::size_t replica_count = plan.broadcast_servers.empty()
+                                            ? mds_count
+                                            : plan.broadcast_servers.size();
+      const double hold =
+          config.net_latency +
+          static_cast<double>(replica_count) * config.per_replica_write;
+      t += config.net_latency;  // reach the lock service
+      t = gl_locks.LockFor(record.node).Acquire(t, hold);
+      // Every replica applies the update asynchronously; the write work
+      // still occupies each server's queue.
+      const auto charge = [&](std::size_t k) {
+        const double start = std::max(t, server_free[k]);
+        server_free[k] = start + config.per_replica_write;
+        result.server_busy[k] += config.per_replica_write;
+      };
+      if (plan.broadcast_servers.empty()) {
+        for (std::size_t k = 0; k < mds_count; ++k) charge(k);
+      } else {
+        for (MdsId k : plan.broadcast_servers)
+          charge(static_cast<std::size_t>(k));
+      }
+      t += hold;  // broadcast round while holding the lock
+    } else if (plan.cached_target_update) {
+      // Baseline write to a client-cached node: revoke leases first.
+      t += config.lease_revoke_time;
+    }
+
+    for (std::size_t h = 0; h < plan.visits.size(); ++h) {
+      const MdsId v = plan.visits[h];
+      t += config.net_latency;  // client→MDS or MDS→MDS forward
+      const bool final_hop = h + 1 == plan.visits.size();
+      const double service = final_hop && record.op == OpType::kUpdate
+                                 ? config.update_service_time
+                                 : config.service_time;
+      const double start = std::max(t, server_free[v]);
+      server_free[v] = start + service;
+      result.server_busy[v] += service;
+      ++result.server_ops[v];
+      t = start + service;
+    }
+    t += config.net_latency;  // reply to the client
+
+    latencies.push_back(t - ev.time);
+    last_completion = std::max(last_completion, t);
+    ++result.completed_ops;
+    events.push({t, ev.client});
+  }
+
+  result.duration = last_completion;
+  result.throughput =
+      result.duration > 0
+          ? static_cast<double>(result.completed_ops) / result.duration
+          : 0.0;
+  if (!latencies.empty()) {
+    RunningStats s;
+    for (double l : latencies) s.Add(l);
+    result.mean_latency = s.mean();
+    result.p99_latency = Percentile(latencies, 0.99);
+  }
+  result.lock_wait_total = gl_locks.TotalWait();
+  return result;
+}
+
+}  // namespace d2tree

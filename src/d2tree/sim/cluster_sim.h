@@ -1,0 +1,65 @@
+// Discrete-event MDS-cluster simulator (the EC2-testbed substitute,
+// DESIGN.md §3).
+//
+// Closed-loop clients replay a trace against M queue servers connected by a
+// fixed-latency network. Each server processes one request at a time (its
+// capacity is 1/service_time ops/s); forwarded requests pay the network
+// latency per hop and queue at every visited server; updates to the
+// replicated global layer serialize on a per-node lock and pay a broadcast
+// to all M replicas. These are exactly the mechanisms the paper credits
+// for the Fig. 5 throughput shapes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "d2tree/core/lock_service.h"
+#include "d2tree/sim/route.h"
+#include "d2tree/trace/trace.h"
+
+namespace d2tree {
+
+struct SimConfig {
+  /// Closed-loop clients (the paper fixes "the client base to 200").
+  std::size_t client_count = 200;
+  /// Service time of one metadata query at one MDS (capacity = 1/this).
+  double service_time = 100e-6;
+  /// Extra service time for an update (mutation) at its final server.
+  double update_service_time = 150e-6;
+  /// One-way network latency per message hop (client→MDS or MDS→MDS).
+  double net_latency = 300e-6;
+  /// Per-replica cost of broadcasting a global-layer update (the lock is
+  /// held for net_latency + M × this).
+  double per_replica_write = 10e-6;
+  /// D2-Tree only: probability a client's cached local index entry is
+  /// stale (set from the subtree churn of dynamic adjustment).
+  double index_miss_prob = 0.0;
+  /// Latency a baseline update to a client-cached node pays to revoke the
+  /// outstanding leases before mutating (Sec. VII: "client caching can
+  /// involve higher latency"; GFS-style lease revocation round).
+  double lease_revoke_time = 1500e-6;
+  /// Number of trace records to replay (cycling through the trace).
+  std::size_t max_ops = 100'000;
+  std::uint64_t seed = 0xC10C;
+};
+
+struct SimResult {
+  std::size_t completed_ops = 0;
+  double duration = 0.0;        // virtual seconds until last completion
+  double throughput = 0.0;      // completed_ops / duration
+  double mean_latency = 0.0;
+  double p99_latency = 0.0;
+  double lock_wait_total = 0.0; // aggregate GL-lock queueing (contention)
+  std::vector<double> server_busy;  // busy seconds per MDS
+  std::vector<std::size_t> server_ops;  // visits per MDS
+
+  /// Max busy-time utilization across servers (1.0 = some server saturated).
+  double MaxUtilization() const;
+};
+
+/// Runs the closed-loop replay. `router` decides the per-request visits;
+/// `mds_count` servers are simulated. Deterministic in config.seed.
+SimResult RunClusterSim(const Trace& trace, const RoutePlanner& router,
+                        std::size_t mds_count, const SimConfig& config);
+
+}  // namespace d2tree

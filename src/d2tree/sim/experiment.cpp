@@ -1,0 +1,76 @@
+#include "d2tree/sim/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "d2tree/baselines/registry.h"
+#include "d2tree/core/d2tree.h"
+#include "d2tree/metrics/metrics.h"
+
+namespace d2tree {
+
+SchemeRunResult RunSchemeExperiment(std::string_view scheme_id,
+                                    const Workload& w, std::size_t mds_count,
+                                    const ExperimentOptions& options) {
+  SchemeRunResult result;
+  result.scheme = std::string(scheme_id);
+  result.mds_count = mds_count;
+
+  std::unique_ptr<Partitioner> scheme;
+  if (scheme_id == "d2tree") {
+    // The experiment configuration mirrors the paper's system: the Monitor
+    // allocates from a random sample of the pending pool (Sec. IV-B).
+    D2TreeConfig cfg;
+    cfg.monitor.sample_count = options.monitor_sample_count;
+    scheme = std::make_unique<D2TreeScheme>(cfg);
+  } else {
+    scheme = MakeScheme(scheme_id);
+  }
+  const MdsCluster cluster = MdsCluster::Homogeneous(mds_count);
+  Assignment assignment = scheme->Partition(w.tree, cluster);
+
+  double last_round_churn = 0.0;
+  for (std::size_t round = 0; round < options.adjustment_rounds; ++round) {
+    RebalanceResult r = scheme->Rebalance(w.tree, cluster, assignment);
+    result.moved_nodes_total += r.moved_nodes;
+    last_round_churn =
+        static_cast<double>(r.moved_nodes) / static_cast<double>(w.tree.size());
+    assignment = std::move(r.assignment);
+  }
+
+  const LocalityReport loc = ComputeLocality(w.tree, assignment);
+  result.locality_cost = loc.cost;
+  result.locality = loc.locality;
+  const BalanceReport bal = ComputeBalance(w.tree, assignment, cluster);
+  result.balance = bal.balance;
+  result.mu = bal.mu;
+  result.update_cost = ComputeUpdateCost(w.tree, assignment);
+
+  if (options.run_throughput_sim) {
+    SimConfig sim = options.sim;
+    SimResult sr;
+    if (auto* d2 = dynamic_cast<D2TreeScheme*>(scheme.get())) {
+      sim.index_miss_prob = std::min(
+          0.5, options.base_index_miss + last_round_churn);
+      const D2TreeRouter router(w.tree, assignment, d2->local_index(),
+                                sim.index_miss_prob);
+      sr = RunClusterSim(w.trace, router, mds_count, sim);
+    } else {
+      const auto client_cache =
+          TopPopularityClientCache(w.tree, options.client_cache_fraction);
+      const double forward_prob =
+          std::min(0.5, options.base_index_miss + last_round_churn);
+      const AssignmentRouter router(w.tree, assignment, &client_cache,
+                                    forward_prob);
+      sr = RunClusterSim(w.trace, router, mds_count, sim);
+    }
+    result.throughput = sr.throughput;
+    result.mean_latency = sr.mean_latency;
+    result.p99_latency = sr.p99_latency;
+    result.lock_wait_total = sr.lock_wait_total;
+    result.max_utilization = sr.MaxUtilization();
+  }
+  return result;
+}
+
+}  // namespace d2tree

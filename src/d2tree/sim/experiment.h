@@ -1,0 +1,59 @@
+// Shared experiment harness: run one scheme on one workload at one cluster
+// size, with dynamic-adjustment rounds and an optional throughput
+// simulation — the building block behind the Fig. 5/6/7 benches.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "d2tree/sim/cluster_sim.h"
+#include "d2tree/trace/profiles.h"
+
+namespace d2tree {
+
+struct ExperimentOptions {
+  /// Dynamic-adjustment rounds before measuring ("after the subtraces are
+  /// replayed to these clusters for 20 times, a relatively balanced status
+  /// is maintained", Sec. VI-B).
+  std::size_t adjustment_rounds = 20;
+  /// Floor on the D2-Tree client local-index miss probability (lease
+  /// expiries); subtree churn from the final adjustment round adds on top.
+  double base_index_miss = 0.05;
+  /// Fraction of the namespace (hottest first) held in baseline clients'
+  /// prefix caches (Sec. VII). Matches the GL proportion for fairness.
+  double client_cache_fraction = 0.01;
+  /// Pending-pool sample size for D2-Tree's Monitor (the paper's MDSs
+  /// sample rather than scan, Sec. IV-B); 0 = exact mirror division.
+  std::size_t monitor_sample_count = 256;
+  bool run_throughput_sim = true;
+  SimConfig sim;
+};
+
+struct SchemeRunResult {
+  std::string scheme;
+  std::size_t mds_count = 0;
+
+  // Partition-quality metrics (Sec. III definitions).
+  double locality_cost = 0.0;
+  double locality = 0.0;   // Eq. (1)
+  double balance = 0.0;    // Eq. (2)
+  double mu = 0.0;
+  double update_cost = 0.0;
+  std::size_t moved_nodes_total = 0;  // across all adjustment rounds
+
+  // Throughput simulation results.
+  double throughput = 0.0;  // ops/s
+  double mean_latency = 0.0;
+  double p99_latency = 0.0;
+  double lock_wait_total = 0.0;
+  double max_utilization = 0.0;
+};
+
+/// Builds the scheme (registry id), partitions `w.tree` over `mds_count`
+/// homogeneous servers, runs the adjustment rounds and (optionally) the
+/// cluster simulation. Deterministic.
+SchemeRunResult RunSchemeExperiment(std::string_view scheme_id,
+                                    const Workload& w, std::size_t mds_count,
+                                    const ExperimentOptions& options = {});
+
+}  // namespace d2tree

@@ -1,0 +1,99 @@
+#include "d2tree/sim/route.h"
+
+#include <algorithm>
+
+namespace d2tree {
+
+std::vector<bool> TopPopularityClientCache(const NamespaceTree& tree,
+                                           double fraction) {
+  std::vector<NodeId> by_pop(tree.size());
+  for (NodeId id = 0; id < tree.size(); ++id) by_pop[id] = id;
+  std::sort(by_pop.begin(), by_pop.end(), [&](NodeId a, NodeId b) {
+    return tree.node(a).subtree_popularity > tree.node(b).subtree_popularity;
+  });
+  std::vector<bool> cached(tree.size(), false);
+  const auto count = static_cast<std::size_t>(
+      fraction * static_cast<double>(tree.size()));
+  for (std::size_t i = 0; i < count && i < by_pop.size(); ++i)
+    cached[by_pop[i]] = true;
+  return cached;
+}
+
+RoutePlan AssignmentRouter::PlanRoute(const TraceRecord& record,
+                                      Rng& rng) const {
+  RoutePlan plan;
+  const auto m = static_cast<std::uint64_t>(assignment_->mds_count);
+  MdsId current = kReplicated;
+  const auto step = [&](NodeId v, bool is_target) {
+    if (!is_target && cache_ != nullptr && (*cache_)[v])
+      return;  // ancestor's permission check served from the client cache
+    const MdsId o = assignment_->OwnerOf(v);
+    if (o == kReplicated) return;  // served wherever we already are
+    if (current != o) {
+      plan.visits.push_back(o);
+      current = o;
+    }
+  };
+  for (NodeId a : tree_->AncestorsOf(record.node)) step(a, false);
+  step(record.node, true);
+  if (plan.visits.empty()) {
+    // Entire path replicated: any MDS can serve (D2-Tree GL semantics).
+    plan.visits.push_back(static_cast<MdsId>(rng.NextBounded(m)));
+  } else if (forward_prob_ > 0.0 && rng.NextBool(forward_prob_)) {
+    // Stale client placement knowledge: land on a random MDS first, get
+    // forwarded to the real entry server.
+    const auto wrong = static_cast<MdsId>(rng.NextBounded(m));
+    if (wrong != plan.visits.front())
+      plan.visits.insert(plan.visits.begin(), wrong);
+  }
+  plan.global_update = record.op == OpType::kUpdate &&
+                       assignment_->IsReplicated(record.node);
+  plan.cached_target_update = record.op == OpType::kUpdate &&
+                              !plan.global_update && cache_ != nullptr &&
+                              (*cache_)[record.node];
+  return plan;
+}
+
+RoutePlan D2TreeRouter::PlanRoute(const TraceRecord& record, Rng& rng) const {
+  RoutePlan plan;
+  const auto m = static_cast<std::uint64_t>(assignment_->mds_count);
+  const auto owner = index_->Route(*tree_, record.node);
+  if (!owner.has_value()) {
+    // Global-layer resident: one visit to a randomly chosen replica.
+    plan.visits.push_back(static_cast<MdsId>(rng.NextBounded(m)));
+    plan.global_update = record.op == OpType::kUpdate;
+    return plan;
+  }
+  if (index_miss_prob_ > 0.0 && rng.NextBool(index_miss_prob_)) {
+    // Stale cached index entry: the request lands on a random MDS first
+    // and is forwarded to the real owner.
+    const auto wrong = static_cast<MdsId>(rng.NextBounded(m));
+    if (wrong != *owner) plan.visits.push_back(wrong);
+  }
+  plan.visits.push_back(*owner);
+  return plan;
+}
+
+RoutePlan PartialD2TreeRouter::PlanRoute(const TraceRecord& record,
+                                         Rng& rng) const {
+  RoutePlan plan;
+  const auto owner = index_->Route(*tree_, record.node);
+  if (!owner.has_value()) {
+    // Global-layer resident: one of the node's replicas serves it.
+    plan.visits.push_back(partial_->PickReplica(record.node, rng));
+    if (record.op == OpType::kUpdate) {
+      plan.global_update = true;
+      plan.broadcast_servers = partial_->ReplicasOf(record.node);
+    }
+    return plan;
+  }
+  if (index_miss_prob_ > 0.0 && rng.NextBool(index_miss_prob_)) {
+    const auto wrong =
+        static_cast<MdsId>(rng.NextBounded(partial_->mds_count()));
+    if (wrong != *owner) plan.visits.push_back(wrong);
+  }
+  plan.visits.push_back(*owner);
+  return plan;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,119 @@
+// Per-scheme request routing for the cluster simulator (Sec. IV-A2, VI-A).
+//
+// A RoutePlan is the list of MDSs a request visits. The paper's throughput
+// differences come precisely from these plans: D2-Tree resolves global-layer
+// queries at any single replica and local-layer queries at the subtree owner
+// (one forward on a stale client index), while hash-family and
+// finer-grained subtree schemes forward queries along the pathname
+// traversal, visiting more servers as the cluster scales.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "d2tree/common/rng.h"
+#include "d2tree/core/local_index.h"
+#include "d2tree/core/partial_replication.h"
+#include "d2tree/partition/partition.h"
+#include "d2tree/trace/trace.h"
+
+namespace d2tree {
+
+struct RoutePlan {
+  /// Servers visited in order; never empty.
+  std::vector<MdsId> visits;
+  /// True when the op mutates a replicated (global-layer) node and must
+  /// take the per-node lock + broadcast to all replicas.
+  bool global_update = false;
+  /// True when the op mutates a node held in *client* caches (baseline
+  /// schemes): the writer pays a lease-revocation round before the update
+  /// is visible (Sec. VII's caching-consistency cost).
+  bool cached_target_update = false;
+  /// For global updates under *partial* replication: the servers holding
+  /// replicas (broadcast targets). Empty = every server (full replication).
+  std::vector<MdsId> broadcast_servers;
+};
+
+class RoutePlanner {
+ public:
+  virtual ~RoutePlanner() = default;
+  virtual RoutePlan PlanRoute(const TraceRecord& record, Rng& rng) const = 0;
+};
+
+/// The hot upper crown clients keep in their metadata caches: the
+/// `fraction` of nodes with the highest total popularity (prefix
+/// directories are exactly what client caches retain, Sec. VII). Used to
+/// model baseline routing without the unrealistic namespace-root
+/// bottleneck.
+std::vector<bool> TopPopularityClientCache(const NamespaceTree& tree,
+                                           double fraction);
+
+/// Routing implied by a plain Assignment: ancestors resident in the client
+/// cache are skipped (their permission checks are client-side, Sec. VII);
+/// from the first uncached path node on, the request is forwarded on every
+/// owner change along the pathname traversal — the "queries … forwarded
+/// multiple times" behaviour of the baselines (Sec. VI-A). The target node
+/// itself is always fetched from its owner.
+class AssignmentRouter : public RoutePlanner {
+ public:
+  /// `client_cache` may be null (no caching — every path owner visited).
+  /// It must outlive the router. `forward_prob` is the chance the client's
+  /// placement knowledge is stale after migrations/rehashing, costing one
+  /// forwarding hop through a random MDS.
+  AssignmentRouter(const NamespaceTree& tree, const Assignment& assignment,
+                   const std::vector<bool>* client_cache = nullptr,
+                   double forward_prob = 0.0)
+      : tree_(&tree), assignment_(&assignment), cache_(client_cache),
+        forward_prob_(forward_prob) {}
+
+  RoutePlan PlanRoute(const TraceRecord& record, Rng& rng) const override;
+
+ private:
+  const NamespaceTree* tree_;
+  const Assignment* assignment_;
+  const std::vector<bool>* cache_;
+  double forward_prob_;
+};
+
+/// D2-Tree client logic (Sec. IV-A2): check cached local index → send
+/// straight to the subtree owner; otherwise the target is GL-resident and
+/// any random MDS serves it. `index_miss_prob` models stale client caches
+/// after dynamic adjustment: a miss costs one forwarding hop through a
+/// random MDS.
+class D2TreeRouter : public RoutePlanner {
+ public:
+  D2TreeRouter(const NamespaceTree& tree, const Assignment& assignment,
+               const LocalIndex& index, double index_miss_prob = 0.0)
+      : tree_(&tree), assignment_(&assignment), index_(&index),
+        index_miss_prob_(index_miss_prob) {}
+
+  RoutePlan PlanRoute(const TraceRecord& record, Rng& rng) const override;
+
+ private:
+  const NamespaceTree* tree_;
+  const Assignment* assignment_;
+  const LocalIndex* index_;
+  double index_miss_prob_;
+};
+
+/// D2-Tree with a replication-degree threshold (Sec. VII extension): a
+/// global-layer query goes to one of the node's `degree` replicas; a
+/// global-layer update locks and broadcasts to those replicas only.
+class PartialD2TreeRouter : public RoutePlanner {
+ public:
+  PartialD2TreeRouter(const NamespaceTree& tree, const LocalIndex& index,
+                      const PartialGlobalLayer& partial,
+                      double index_miss_prob = 0.0)
+      : tree_(&tree), index_(&index), partial_(&partial),
+        index_miss_prob_(index_miss_prob) {}
+
+  RoutePlan PlanRoute(const TraceRecord& record, Rng& rng) const override;
+
+ private:
+  const NamespaceTree* tree_;
+  const LocalIndex* index_;
+  const PartialGlobalLayer* partial_;
+  double index_miss_prob_;
+};
+
+}  // namespace d2tree

@@ -1,0 +1,74 @@
+// Synthetic equivalents of the paper's three Microsoft traces.
+//
+// Substitution (see DESIGN.md §3): the SNIA originals (Development Tools
+// Release, Live Maps Back End, Radius Authentication) are not
+// redistributable, so each profile regenerates a namespace + trace whose
+// observable statistics match what the paper reports:
+//   * Table I  — relative record counts and maximum path depth (49 / 9 / 13);
+//   * Table II — read/write/update mix;
+//   * Sec. VI-A — how much traffic lands in a 1%-sized global layer
+//     (DTR ≈ 83% GL, LMBE ≈ 58.6% LL, RA updates 67% GL-directed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "d2tree/nstree/builder.h"
+#include "d2tree/trace/trace.h"
+
+namespace d2tree {
+
+/// Everything needed to regenerate one dataset.
+struct TraceProfile {
+  std::string name;
+  std::string description;
+  SyntheticTreeConfig tree;
+  std::size_t record_count = 100'000;
+
+  // Operation mix (must sum to ~1).
+  double read_frac = 0.7;
+  double write_frac = 0.25;
+  double update_frac = 0.05;
+
+  // Access skew: a crown/tail mixture. The *crown* is the hottest
+  // `crown_fraction` of the namespace in shallow-first (BFS) order — the
+  // nodes the greedy split promotes into the global layer. Each query
+  // targets the crown with probability `crown_hit` (per op class, matching
+  // the GL-hit statistics of Sec. VI-A) and the tail otherwise; within
+  // each region ranks follow Zipf(theta). Crown theta is kept small so no
+  // single node becomes an unsplittable hotspot (real hot *files* spread
+  // across hot directories).
+  double crown_fraction = 0.01;
+  double query_crown_hit = 0.5;   // reads and writes
+  double update_crown_hit = 0.5;  // updates (RA's skew even higher)
+  double crown_theta = 0.35;
+  double tail_theta = 0.8;
+
+  std::uint64_t seed = 1;
+};
+
+/// Development Tools Release: deep tree (max depth 49), read-mostly,
+/// heavily skewed toward the upper namespace (~83% of queries hit a 1% GL).
+TraceProfile DtrProfile(double scale = 1.0);
+
+/// Live Maps Back End: shallow wide tree (max depth 9), read-mostly with
+/// almost no updates, flatter skew (~58.6% of queries hit the local layer).
+TraceProfile LmbeProfile(double scale = 1.0);
+
+/// Radius Authentication: mid-depth tree (max depth 13), update-heavy
+/// (16.1% updates, ~67% of them aimed at the global layer).
+TraceProfile RaProfile(double scale = 1.0);
+
+/// A generated dataset: the namespace plus its operation trace, with
+/// popularity already charged onto the tree.
+struct Workload {
+  std::string name;
+  NamespaceTree tree;
+  Trace trace;
+};
+
+/// Generates namespace + trace from a profile. Deterministic in
+/// profile.seed.
+Workload GenerateWorkload(const TraceProfile& profile);
+
+}  // namespace d2tree

@@ -1,0 +1,59 @@
+#include "d2tree/trace/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace d2tree {
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kRead:
+      return "read";
+    case OpType::kWrite:
+      return "write";
+    case OpType::kUpdate:
+      return "update";
+  }
+  return "?";
+}
+
+std::array<double, kOpTypeCount> Trace::OpBreakdown() const {
+  std::array<double, kOpTypeCount> counts{};
+  for (const auto& r : records_) counts[static_cast<std::size_t>(r.op)] += 1.0;
+  if (!records_.empty())
+    for (auto& c : counts) c /= static_cast<double>(records_.size());
+  return counts;
+}
+
+void Trace::ChargePopularity(NamespaceTree& tree) const {
+  for (const auto& r : records_) tree.AddAccess(r.node);
+  tree.RecomputeSubtreePopularity();
+}
+
+void Trace::Save(std::ostream& os) const {
+  os << "d2tree-trace v1 " << records_.size() << "\n";
+  for (const auto& r : records_)
+    os << static_cast<int>(r.op) << ' ' << r.node << "\n";
+}
+
+Trace Trace::Load(std::istream& is) {
+  std::string magic, version;
+  std::size_t count = 0;
+  if (!(is >> magic >> version >> count) || magic != "d2tree-trace" ||
+      version != "v1")
+    throw std::runtime_error("bad trace header");
+  std::vector<TraceRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    int op = 0;
+    NodeId node = 0;
+    if (!(is >> op >> node)) throw std::runtime_error("truncated trace");
+    if (op < 0 || op >= static_cast<int>(kOpTypeCount))
+      throw std::runtime_error("bad op type in trace");
+    records.push_back({static_cast<OpType>(op), node});
+  }
+  return Trace(std::move(records));
+}
+
+}  // namespace d2tree

@@ -1,0 +1,59 @@
+// Metadata operation traces (Sec. VI "Datasets").
+//
+// The paper filters three Microsoft server traces down to metadata
+// operations (read / write / update, Table II). A Trace is the resolved
+// form: every record targets a NodeId in an accompanying NamespaceTree.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "d2tree/nstree/tree.h"
+
+namespace d2tree {
+
+/// Metadata operation classes after the paper's filtering. Read and write
+/// are pure queries against the MDS; update mutates metadata (and therefore
+/// needs the global-layer lock when the target is replicated).
+enum class OpType : std::uint8_t { kRead = 0, kWrite = 1, kUpdate = 2 };
+inline constexpr std::size_t kOpTypeCount = 3;
+
+const char* OpTypeName(OpType op);
+
+struct TraceRecord {
+  OpType op;
+  NodeId node;
+};
+
+/// A replayable sequence of metadata operations.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TraceRecord> records)
+      : records_(std::move(records)) {}
+
+  const std::vector<TraceRecord>& records() const noexcept { return records_; }
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+  void Append(TraceRecord r) { records_.push_back(r); }
+
+  /// Fraction of records per op type (the Table II row).
+  std::array<double, kOpTypeCount> OpBreakdown() const;
+
+  /// Adds every record as one access to its target node (bumps p'_j), then
+  /// recomputes the aggregates. This is how popularity is charged before
+  /// partitioning.
+  void ChargePopularity(NamespaceTree& tree) const;
+
+  /// Line-oriented text persistence ("<op> <node-id>" per record).
+  void Save(std::ostream& os) const;
+  static Trace Load(std::istream& is);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace d2tree

@@ -1,0 +1,339 @@
+// Tests for the comparison schemes (Sec. II / Sec. VI "Implements"):
+// hash mapping, static & dynamic subtree partitioning, DROP, AngleCut.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "d2tree/baselines/anglecut.h"
+#include "d2tree/baselines/drop.h"
+#include "d2tree/baselines/dynamic_subtree.h"
+#include "d2tree/baselines/hash_mapping.h"
+#include "d2tree/baselines/registry.h"
+#include "d2tree/baselines/static_subtree.h"
+#include "d2tree/metrics/metrics.h"
+#include "d2tree/trace/profiles.h"
+
+namespace d2tree {
+namespace {
+
+Workload SmallWorkload() { return GenerateWorkload(LmbeProfile(0.05)); }
+
+TEST(HashPartitioner, EveryNodePlacedNoReplication) {
+  Workload w = SmallWorkload();
+  HashPartitioner scheme;
+  const Assignment a = scheme.Partition(w.tree, MdsCluster::Homogeneous(5));
+  ASSERT_TRUE(a.Validate(w.tree));
+  EXPECT_EQ(a.ReplicatedCount(), 0u);
+}
+
+TEST(HashPartitioner, SpreadsNodesEvenly) {
+  Workload w = SmallWorkload();
+  HashPartitioner scheme;
+  const Assignment a = scheme.Partition(w.tree, MdsCluster::Homogeneous(4));
+  std::vector<std::size_t> counts(4, 0);
+  for (NodeId id = 0; id < w.tree.size(); ++id) ++counts[a.OwnerOf(id)];
+  const double expect = static_cast<double>(w.tree.size()) / 4.0;
+  for (auto c : counts) EXPECT_NEAR(c, expect, expect * 0.1);
+}
+
+TEST(HashPartitioner, RebalanceIsStableNoop) {
+  Workload w = SmallWorkload();
+  HashPartitioner scheme;
+  const MdsCluster cluster = MdsCluster::Homogeneous(4);
+  const Assignment a = scheme.Partition(w.tree, cluster);
+  const RebalanceResult r = scheme.Rebalance(w.tree, cluster, a);
+  EXPECT_EQ(r.moved_nodes, 0u);
+  EXPECT_EQ(CountMovedNodes(a, r.assignment), 0u);
+}
+
+TEST(HashPartitioner, ScalingRehashesMassively) {
+  // Sec. II: "the overhead of rehashing metadata when … scaling the cluster
+  // is also considerable."
+  Workload w = SmallWorkload();
+  HashPartitioner scheme;
+  const Assignment a = scheme.Partition(w.tree, MdsCluster::Homogeneous(4));
+  const RebalanceResult r =
+      scheme.Rebalance(w.tree, MdsCluster::Homogeneous(5), a);
+  EXPECT_GT(r.moved_nodes, w.tree.size() / 2);
+}
+
+TEST(HashPartitioner, PoorLocalityVersusStaticSubtree) {
+  Workload w = SmallWorkload();
+  const MdsCluster cluster = MdsCluster::Homogeneous(8);
+  HashPartitioner hash;
+  StaticSubtreePartitioner subtree;
+  const double hash_cost =
+      ComputeLocality(w.tree, hash.Partition(w.tree, cluster)).cost;
+  const double subtree_cost =
+      ComputeLocality(w.tree, subtree.Partition(w.tree, cluster)).cost;
+  // LMBE's tree is shallow (depth <= 9), so the multiple is modest, but
+  // hashing must still clearly lose on locality.
+  EXPECT_GT(hash_cost, 1.5 * subtree_cost);
+}
+
+TEST(StaticSubtree, SubtreesAreIntact) {
+  Workload w = SmallWorkload();
+  StaticSubtreePartitioner scheme;
+  const Assignment a = scheme.Partition(w.tree, MdsCluster::Homogeneous(6));
+  ASSERT_TRUE(a.Validate(w.tree));
+  // Below the partition depth, every node shares its parent's owner.
+  for (NodeId id = 1; id < w.tree.size(); ++id) {
+    if (w.tree.node(id).depth <= 1) continue;
+    EXPECT_EQ(a.OwnerOf(id), a.OwnerOf(w.tree.node(id).parent));
+  }
+}
+
+TEST(StaticSubtree, AtMostOneJumpFromDepthOneCut) {
+  Workload w = SmallWorkload();
+  StaticSubtreePartitioner scheme;
+  const Assignment a = scheme.Partition(w.tree, MdsCluster::Homogeneous(6));
+  for (NodeId id = 0; id < w.tree.size(); ++id)
+    EXPECT_LE(JumpsFor(w.tree, a, id), 1u);
+}
+
+TEST(StaticSubtree, NeverMigrates) {
+  Workload w = SmallWorkload();
+  StaticSubtreePartitioner scheme;
+  const MdsCluster cluster = MdsCluster::Homogeneous(4);
+  Assignment a = scheme.Partition(w.tree, cluster);
+  // Skew the load hard; static partitioning must not move anything.
+  for (NodeId id = 0; id < w.tree.size(); id += 3) w.tree.AddAccess(id, 50);
+  w.tree.RecomputeSubtreePopularity();
+  const RebalanceResult r = scheme.Rebalance(w.tree, cluster, a);
+  EXPECT_EQ(r.moved_nodes, 0u);
+}
+
+TEST(StaticSubtree, DeeperCutGivesFinerPieces) {
+  Workload w = SmallWorkload();
+  StaticSubtreeConfig deep;
+  deep.partition_depth = 3;
+  StaticSubtreePartitioner coarse, fine(deep);
+  const MdsCluster cluster = MdsCluster::Homogeneous(8);
+  const auto bal_coarse =
+      ComputeBalance(w.tree, coarse.Partition(w.tree, cluster), cluster);
+  const auto bal_fine =
+      ComputeBalance(w.tree, fine.Partition(w.tree, cluster), cluster);
+  // Finer pieces hash more evenly (usually strictly better; allow equality).
+  EXPECT_GE(bal_fine.balance, bal_coarse.balance * 0.8);
+}
+
+TEST(DynamicSubtree, InitialPartitionValid) {
+  Workload w = SmallWorkload();
+  DynamicSubtreePartitioner scheme;
+  const Assignment a = scheme.Partition(w.tree, MdsCluster::Homogeneous(4));
+  EXPECT_TRUE(a.Validate(w.tree));
+  EXPECT_EQ(a.ReplicatedCount(), 0u);
+}
+
+TEST(DynamicSubtree, RebalanceReducesImbalance) {
+  Workload w = SmallWorkload();
+  DynamicSubtreePartitioner scheme;
+  const MdsCluster cluster = MdsCluster::Homogeneous(4);
+  Assignment a = scheme.Partition(w.tree, cluster);
+  const double before = ComputeBalance(w.tree, a, cluster).variance_term;
+  RebalanceResult r = scheme.Rebalance(w.tree, cluster, a);
+  const double after =
+      ComputeBalance(w.tree, r.assignment, cluster).variance_term;
+  EXPECT_LE(after, before * 1.05);
+  EXPECT_TRUE(r.assignment.Validate(w.tree));
+}
+
+TEST(DynamicSubtree, SplitsHotUnitsForFinerGranularity) {
+  // A single scorching directory forces unit splitting.
+  NamespaceTree t;
+  for (int i = 0; i < 50; ++i)
+    t.GetOrCreatePath("/hot/sub" + std::to_string(i) + "/f", NodeType::kFile);
+  for (int i = 0; i < 4; ++i)
+    t.GetOrCreatePath("/cold" + std::to_string(i) + "/f", NodeType::kFile);
+  for (int i = 0; i < 50; ++i)
+    t.AddAccess(t.Resolve("/hot/sub" + std::to_string(i) + "/f"), 100);
+  t.RecomputeSubtreePopularity();
+
+  DynamicSubtreeConfig cfg;
+  cfg.initial_depth = 1;  // /hot is one big unit initially
+  DynamicSubtreePartitioner scheme(cfg);
+  const MdsCluster cluster = MdsCluster::Homogeneous(4);
+  Assignment a = scheme.Partition(t, cluster);
+  const std::size_t units_before = scheme.unit_count();
+  const RebalanceResult r = scheme.Rebalance(t, cluster, a);
+  EXPECT_GT(scheme.unit_count(), units_before);
+  // After splitting, /hot's children can spread across servers.
+  std::set<MdsId> owners;
+  for (int i = 0; i < 50; ++i)
+    owners.insert(
+        r.assignment.OwnerOf(t.Resolve("/hot/sub" + std::to_string(i))));
+  EXPECT_GT(owners.size(), 1u);
+}
+
+TEST(DynamicSubtree, MigrationCostIsNonTrivial) {
+  // The thrashing-prone behaviour: rebalancing moves real amounts of
+  // metadata (unlike D2-Tree which only moves whole cold units on demand).
+  Workload w = SmallWorkload();
+  DynamicSubtreePartitioner scheme;
+  const MdsCluster cluster = MdsCluster::Homogeneous(8);
+  Assignment a = scheme.Partition(w.tree, cluster);
+  // Heat up everything currently on MDS 0 so a migration is unavoidable.
+  for (NodeId id = 0; id < w.tree.size(); ++id)
+    if (a.OwnerOf(id) == 0)
+      w.tree.AddAccess(id, 5.0 * (w.tree.node(id).individual_popularity + 1));
+  w.tree.RecomputeSubtreePopularity();
+  std::size_t total_moved = 0;
+  for (int round = 0; round < 3; ++round) {
+    RebalanceResult r = scheme.Rebalance(w.tree, cluster, a);
+    total_moved += r.moved_nodes;
+    a = r.assignment;
+  }
+  EXPECT_GT(total_moved, 0u);
+}
+
+TEST(Drop, KeysAreLocalityPreserving) {
+  Workload w = SmallWorkload();
+  const auto keys = DropPartitioner::LocalityPreservingKeys(w.tree);
+  // Every subtree occupies a contiguous key interval: check per directory
+  // that descendant keys fall inside [key(dir), key(dir) + size/N).
+  const double n = static_cast<double>(w.tree.size());
+  for (NodeId id = 0; id < w.tree.size(); id += 37) {
+    const double lo = keys[id];
+    const double hi = lo + static_cast<double>(w.tree.SubtreeSize(id)) / n;
+    w.tree.VisitSubtree(id, [&](NodeId v) {
+      EXPECT_GE(keys[v], lo - 1e-12);
+      EXPECT_LT(keys[v], hi + 1e-12);
+    });
+  }
+}
+
+TEST(Drop, InitialRangesFollowCapacity) {
+  Workload w = SmallWorkload();
+  DropPartitioner scheme;
+  const MdsCluster cluster{std::vector<double>{3.0, 1.0}};
+  const Assignment a = scheme.Partition(w.tree, cluster);
+  std::vector<std::size_t> counts(2, 0);
+  for (NodeId id = 0; id < w.tree.size(); ++id) ++counts[a.OwnerOf(id)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / static_cast<double>(w.tree.size()),
+              0.75, 0.02);
+}
+
+TEST(Drop, HdlbRebalanceEqualizesLoad) {
+  Workload w = SmallWorkload();
+  DropPartitioner scheme;
+  const MdsCluster cluster = MdsCluster::Homogeneous(6);
+  Assignment a = scheme.Partition(w.tree, cluster);
+  const double before = ComputeBalance(w.tree, a, cluster).variance_term;
+  const RebalanceResult r = scheme.Rebalance(w.tree, cluster, a);
+  const double after =
+      ComputeBalance(w.tree, r.assignment, cluster).variance_term;
+  EXPECT_LT(after, before);
+  EXPECT_TRUE(r.assignment.Validate(w.tree));
+}
+
+TEST(Drop, ContiguousOwnershipAlongKeys) {
+  Workload w = SmallWorkload();
+  DropPartitioner scheme;
+  const MdsCluster cluster = MdsCluster::Homogeneous(5);
+  Assignment a = scheme.Partition(w.tree, cluster);
+  (void)scheme.Rebalance(w.tree, cluster, a);
+  const auto keys = DropPartitioner::LocalityPreservingKeys(w.tree);
+  // Sort nodes by key; owners must be non-decreasing (contiguous ranges).
+  std::vector<NodeId> order(w.tree.size());
+  for (NodeId id = 0; id < w.tree.size(); ++id) order[id] = id;
+  std::sort(order.begin(), order.end(),
+            [&](NodeId x, NodeId y) { return keys[x] < keys[y]; });
+  const Assignment b = scheme.Rebalance(w.tree, cluster, a).assignment;
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LE(b.OwnerOf(order[i - 1]), b.OwnerOf(order[i]));
+}
+
+TEST(AngleCut, AnglesNestedWithinParentArc) {
+  Workload w = SmallWorkload();
+  const auto angles = AngleCutPartitioner::ProjectAngles(w.tree);
+  for (NodeId id = 1; id < w.tree.size(); id += 11) {
+    const NodeId parent = w.tree.node(id).parent;
+    EXPECT_GE(angles[id], angles[parent] - 1e-12);
+  }
+}
+
+TEST(AngleCut, PartitionValidAndRebalanceBalances) {
+  Workload w = SmallWorkload();
+  AngleCutPartitioner scheme;
+  const MdsCluster cluster = MdsCluster::Homogeneous(6);
+  Assignment a = scheme.Partition(w.tree, cluster);
+  ASSERT_TRUE(a.Validate(w.tree));
+  const double before = ComputeBalance(w.tree, a, cluster).variance_term;
+  const RebalanceResult r = scheme.Rebalance(w.tree, cluster, a);
+  const double after =
+      ComputeBalance(w.tree, r.assignment, cluster).variance_term;
+  EXPECT_LT(after, before * 1.01);
+}
+
+TEST(AngleCut, MultiRingRotationHurtsLocality) {
+  // With rings rotated, ancestors land on different MDSs → locality cost
+  // exceeds DROP's single-ring linearization.
+  Workload w = SmallWorkload();
+  const MdsCluster cluster = MdsCluster::Homogeneous(16);
+  AngleCutPartitioner angle;
+  DropPartitioner drop;
+  Assignment aa = angle.Partition(w.tree, cluster);
+  Assignment dd = drop.Partition(w.tree, cluster);
+  aa = angle.Rebalance(w.tree, cluster, aa).assignment;
+  dd = drop.Rebalance(w.tree, cluster, dd).assignment;
+  EXPECT_GT(ComputeLocality(w.tree, aa).cost,
+            ComputeLocality(w.tree, dd).cost * 0.8);
+}
+
+TEST(Registry, CreatesAllSchemes) {
+  for (const auto& id : AllSchemeIds()) {
+    const auto scheme = MakeScheme(id);
+    ASSERT_NE(scheme, nullptr) << id;
+    EXPECT_FALSE(scheme->name().empty());
+  }
+  EXPECT_THROW(MakeScheme("nope"), std::invalid_argument);
+}
+
+TEST(Registry, PaperSchemesAreFive) {
+  EXPECT_EQ(PaperSchemeIds().size(), 5u);
+}
+
+class AllSchemesSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllSchemesSweep, ProducesValidAssignmentAcrossClusterSizes) {
+  Workload w = SmallWorkload();
+  for (std::size_t m : {2u, 5u, 16u}) {
+    const auto scheme = MakeScheme(GetParam());
+    const MdsCluster cluster = MdsCluster::Homogeneous(m);
+    const Assignment a = scheme->Partition(w.tree, cluster);
+    ASSERT_TRUE(a.Validate(w.tree)) << GetParam() << " M=" << m;
+    // Most MDS ids must actually be used at reasonable cluster sizes
+    // (hash placement can leave a couple of servers empty by chance).
+    std::set<MdsId> used;
+    for (NodeId id = 0; id < w.tree.size(); ++id)
+      if (!a.IsReplicated(id)) used.insert(a.OwnerOf(id));
+    EXPECT_GE(used.size(), (3 * m) / 4) << GetParam() << " M=" << m;
+  }
+}
+
+TEST_P(AllSchemesSweep, RebalanceKeepsAssignmentValid) {
+  Workload w = SmallWorkload();
+  const auto scheme = MakeScheme(GetParam());
+  const MdsCluster cluster = MdsCluster::Homogeneous(6);
+  Assignment a = scheme->Partition(w.tree, cluster);
+  for (int round = 0; round < 3; ++round) {
+    const RebalanceResult r = scheme->Rebalance(w.tree, cluster, a);
+    ASSERT_TRUE(r.assignment.Validate(w.tree)) << GetParam();
+    a = r.assignment;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemesSweep,
+                         ::testing::Values("d2tree", "static-subtree",
+                                           "dynamic-subtree", "drop",
+                                           "anglecut", "hash"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string n = i.param;
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace d2tree

@@ -1,0 +1,353 @@
+// Unit tests for d2tree/common: rng, zipf, histograms, DKW, decay counters,
+// random-walk sampling, path utilities, stats, hashing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "d2tree/common/decay_counter.h"
+#include "d2tree/common/dkw.h"
+#include "d2tree/common/hash.h"
+#include "d2tree/common/histogram.h"
+#include "d2tree/common/path_util.h"
+#include "d2tree/common/random_walk.h"
+#include "d2tree/common/rng.h"
+#include "d2tree/common/stats.h"
+#include "d2tree/common/zipf.h"
+
+namespace d2tree {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NextBoundedStaysInBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(Rng, NextBoundedRoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 10 * 0.15);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.Add(rng.NextExponential(2.5));
+  EXPECT_NEAR(s.mean(), 2.5, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(3);
+  Rng child = a.Fork();
+  EXPECT_NE(a(), child());
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  ZipfSampler z(4, 0.0);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_NEAR(z.Pmf(k), 0.25, 1e-12);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfSampler z(100, 1.1);
+  double total = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) total += z.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankZeroIsMostPopular) {
+  ZipfSampler z(50, 0.9);
+  for (std::size_t k = 1; k < 50; ++k) EXPECT_GE(z.Pmf(k - 1), z.Pmf(k));
+}
+
+TEST(Zipf, EmpiricalMatchesPmf) {
+  ZipfSampler z(20, 1.0);
+  Rng rng(123);
+  std::vector<int> counts(20, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[z.Sample(rng)];
+  for (std::size_t k = 0; k < 20; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(draws), z.Pmf(k),
+                0.01 + 0.1 * z.Pmf(k));
+  }
+}
+
+TEST(EquiDepthHistogram, BoundariesCoverRange) {
+  std::vector<double> samples{5, 1, 9, 3, 7, 2, 8, 4, 6, 0};
+  EquiDepthHistogram h(samples, 5);
+  EXPECT_DOUBLE_EQ(h.boundaries().front(), 0);
+  EXPECT_DOUBLE_EQ(h.boundaries().back(), 9);
+  EXPECT_EQ(h.boundaries().size(), 6u);
+  EXPECT_DOUBLE_EQ(h.bucket_mass(), 0.2);
+}
+
+TEST(EquiDepthHistogram, CdfMonotone) {
+  std::vector<double> samples;
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.NextDouble() * 100);
+  EquiDepthHistogram h(samples, 16);
+  double prev = -1.0;
+  for (double x = -5; x <= 105; x += 0.5) {
+    const double c = h.Cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST(EmpiricalCdf, StepValues) {
+  EmpiricalCdf f({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(f.Value(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f.Value(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f.Value(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(f.Value(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.Value(9.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileInvertsValue) {
+  EmpiricalCdf f({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(f.Quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(f.Quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(f.Quantile(1.0), 50.0);
+}
+
+TEST(EmpiricalCdf, KsDistanceZeroForSameSamples) {
+  EmpiricalCdf a({1, 2, 3}), b({1, 2, 3});
+  EXPECT_DOUBLE_EQ(a.KsDistance(b), 0.0);
+}
+
+TEST(EmpiricalCdf, KsDistanceDetectsShift) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(i + 50);
+  }
+  EmpiricalCdf a(std::move(xs)), b(std::move(ys));
+  EXPECT_GT(a.KsDistance(b), 0.4);
+}
+
+TEST(CumulativeShares, MatchesFig4Staircase) {
+  // Fig. 4: five subtrees with popularity shares .5 .2 .1 .1 .1.
+  const std::vector<double> s{0.5, 0.2, 0.1, 0.1, 0.1};
+  const auto shares = CumulativeShares(s);
+  ASSERT_EQ(shares.size(), 5u);
+  EXPECT_NEAR(shares[0], 0.5, 1e-12);
+  EXPECT_NEAR(shares[1], 0.7, 1e-12);
+  EXPECT_NEAR(shares[2], 0.8, 1e-12);
+  EXPECT_NEAR(shares[3], 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(shares[4], 1.0);
+}
+
+TEST(CumulativeShares, EmptyInput) {
+  EXPECT_TRUE(CumulativeShares(std::vector<double>{}).empty());
+}
+
+TEST(Dkw, TailProbabilityDecreasesInSamples) {
+  EXPECT_GT(DkwTailProbability(10, 0.1), DkwTailProbability(1000, 0.1));
+  EXPECT_LE(DkwTailProbability(1, 0.01), 1.0);
+}
+
+TEST(Dkw, SampleCountSatisfiesBound) {
+  const double eps = 0.05, fail = 0.01;
+  const std::size_t k = DkwSampleCountFor(eps, fail);
+  EXPECT_LE(DkwTailProbability(k, eps), fail * 1.0001);
+  EXPECT_GT(DkwTailProbability(k - 1, eps), fail);
+}
+
+TEST(Dkw, Lemma1CountGrowsWithRange) {
+  const auto small = Lemma1SampleCount(2.0, 1000, 10.0, 0.0, 1.0);
+  const auto large = Lemma1SampleCount(2.0, 1000, 100.0, 0.0, 1.0);
+  EXPECT_GT(large, small);
+}
+
+TEST(Dkw, Lemma1DegenerateRange) {
+  EXPECT_EQ(Lemma1SampleCount(2.0, 1000, 5.0, 5.0, 0.1), 1u);
+}
+
+TEST(Dkw, Theorem4BoundShape) {
+  // M/(M-1) * delta^2 * mu^2
+  EXPECT_NEAR(Theorem4BalanceBound(2, 0.1, 3.0), 2.0 * 0.01 * 9.0, 1e-12);
+  EXPECT_LT(Theorem4BalanceBound(32, 0.1, 3.0),
+            Theorem4BalanceBound(2, 0.1, 3.0));
+}
+
+TEST(DecayCounter, HalvesAfterHalfLife) {
+  DecayCounter c(10.0, 0.0);
+  c.Add(8.0, 0.0);
+  EXPECT_NEAR(c.Value(10.0), 4.0, 1e-9);
+  EXPECT_NEAR(c.Value(20.0), 2.0, 1e-9);
+}
+
+TEST(DecayCounter, AddAccumulatesWithDecay) {
+  DecayCounter c(10.0, 0.0);
+  c.Add(4.0, 0.0);
+  c.Add(4.0, 10.0);  // first contribution has halved by now
+  EXPECT_NEAR(c.Value(10.0), 6.0, 1e-9);
+}
+
+TEST(DecayCounter, ResetClears) {
+  DecayCounter c(5.0, 0.0);
+  c.Add(100.0, 0.0);
+  c.Reset(1.0);
+  EXPECT_DOUBLE_EQ(c.Value(2.0), 0.0);
+}
+
+TEST(RandomWalk, UniformOnCycle) {
+  // 10-vertex ring: MH walk should sample uniformly.
+  const std::size_t n = 10;
+  RandomWalkSampler sampler(
+      n, [](std::size_t) { return std::size_t{2}; },
+      [n](std::size_t v, std::size_t i) { return i == 0 ? (v + 1) % n : (v + n - 1) % n; });
+  Rng rng(17);
+  const auto samples = sampler.Sample(rng, 20000, 64, 3);
+  std::vector<int> counts(n, 0);
+  for (auto s : samples) ++counts[s];
+  for (std::size_t v = 0; v < n; ++v)
+    EXPECT_NEAR(counts[v], 2000, 450) << "vertex " << v;
+}
+
+TEST(RandomWalk, UniformOnStarGraph) {
+  // Star: hub 0 with 9 leaves; MH correction must cancel the degree skew.
+  const std::size_t n = 10;
+  RandomWalkSampler sampler(
+      n,
+      [n](std::size_t v) { return v == 0 ? n - 1 : std::size_t{1}; },
+      [](std::size_t v, std::size_t i) { return v == 0 ? i + 1 : std::size_t{0}; });
+  Rng rng(29);
+  const auto samples = sampler.Sample(rng, 30000, 128, 5);
+  std::vector<int> counts(n, 0);
+  for (auto s : samples) ++counts[s];
+  for (std::size_t v = 0; v < n; ++v)
+    EXPECT_NEAR(counts[v], 3000, 700) << "vertex " << v;
+}
+
+TEST(UniformIndexSample, InRangeAndCovering) {
+  Rng rng(31);
+  const auto samples = UniformIndexSample(rng, 5, 5000);
+  std::vector<int> counts(5, 0);
+  for (auto s : samples) {
+    ASSERT_LT(s, 5u);
+    ++counts[s];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(PathUtil, SplitBasics) {
+  const auto parts = SplitPath("/root/home/b/h.jpg");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "root");
+  EXPECT_EQ(parts[3], "h.jpg");
+}
+
+TEST(PathUtil, SplitHandlesSlashNoise) {
+  EXPECT_TRUE(SplitPath("/").empty());
+  EXPECT_TRUE(SplitPath("").empty());
+  EXPECT_EQ(SplitPath("//a///b/").size(), 2u);
+}
+
+TEST(PathUtil, JoinRoundTrip) {
+  const std::string p = "/a/b/c";
+  EXPECT_EQ(JoinPath(SplitPath(p)), p);
+  EXPECT_EQ(JoinPath({}), "/");
+}
+
+TEST(PathUtil, DepthParentBase) {
+  EXPECT_EQ(PathDepth("/"), 0u);
+  EXPECT_EQ(PathDepth("/a/b"), 2u);
+  EXPECT_EQ(ParentPath("/a/b/c"), "/a/b");
+  EXPECT_EQ(ParentPath("/a"), "/");
+  EXPECT_EQ(ParentPath("/"), "/");
+  EXPECT_EQ(BaseName("/a/b/c"), "c");
+  EXPECT_EQ(BaseName("/"), "");
+}
+
+TEST(PathUtil, IsPathPrefix) {
+  EXPECT_TRUE(IsPathPrefix("/", "/anything"));
+  EXPECT_TRUE(IsPathPrefix("/a/b", "/a/b"));
+  EXPECT_TRUE(IsPathPrefix("/a/b", "/a/b/c"));
+  EXPECT_FALSE(IsPathPrefix("/a/b", "/a/bc"));
+  EXPECT_FALSE(IsPathPrefix("/a/b/c", "/a/b"));
+}
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2.0);
+}
+
+TEST(Stats, JainFairness) {
+  const std::vector<double> fair{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(JainFairness(fair), 1.0);
+  const std::vector<double> unfair{10, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(JainFairness(unfair), 0.25);
+}
+
+TEST(Hash, Fnv1aStable) {
+  // Known FNV-1a test vector.
+  EXPECT_EQ(Fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+}
+
+TEST(Hash, MixAvalanche) {
+  EXPECT_NE(MixHash(1), MixHash(2));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+}  // namespace
+}  // namespace d2tree

@@ -1,0 +1,242 @@
+// Tests for Subtree-Allocation: exact and sampled mirror division
+// (Sec. IV-B, Fig. 4) plus the DKW-backed accuracy claims (Sec. V).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "d2tree/common/rng.h"
+#include "d2tree/core/allocator.h"
+
+namespace d2tree {
+namespace {
+
+std::vector<Subtree> MakeSubtrees(const std::vector<double>& pops) {
+  std::vector<Subtree> out;
+  for (std::size_t i = 0; i < pops.size(); ++i) {
+    Subtree s;
+    s.root = static_cast<NodeId>(i + 100);
+    s.inter_parent = 0;
+    s.popularity = pops[i];
+    s.node_count = 1;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<double> LoadsOf(const std::vector<Subtree>& subtrees,
+                            const std::vector<MdsId>& owners,
+                            std::size_t m) {
+  std::vector<double> loads(m, 0.0);
+  for (std::size_t i = 0; i < subtrees.size(); ++i)
+    loads[owners[i]] += subtrees[i].popularity;
+  return loads;
+}
+
+TEST(MirrorDivisionExact, ReproducesFig4Example) {
+  // Fig. 4: five subtrees with shares .5 .2 .1 .1 .1; MDS capacity shares
+  // .5 .3 .2 → m1 gets Δ1, m2 gets Δ2+Δ3, m3 gets Δ4+Δ5.
+  const auto subtrees = MakeSubtrees({0.5, 0.2, 0.1, 0.1, 0.1});
+  const std::vector<double> caps{0.5, 0.3, 0.2};
+  const auto owners =
+      MirrorDivisionExact(subtrees, caps, SubtreeOrder::kPopularityDesc);
+  EXPECT_EQ(owners[0], 0);
+  EXPECT_EQ(owners[1], 1);
+  EXPECT_EQ(owners[2], 1);
+  EXPECT_EQ(owners[3], 2);
+  EXPECT_EQ(owners[4], 2);
+}
+
+TEST(MirrorDivisionExact, EverySubtreeGetsExactlyOneOwner) {
+  Rng rng(9);
+  std::vector<double> pops;
+  for (int i = 0; i < 500; ++i) pops.push_back(rng.NextExponential(10.0));
+  const auto subtrees = MakeSubtrees(pops);
+  const std::vector<double> caps{1, 2, 3, 4};
+  const auto owners =
+      MirrorDivisionExact(subtrees, caps, SubtreeOrder::kPopularityDesc);
+  ASSERT_EQ(owners.size(), subtrees.size());
+  for (MdsId o : owners) {
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, 4);
+  }
+}
+
+TEST(MirrorDivisionExact, LoadsProportionalToCapacity) {
+  Rng rng(10);
+  std::vector<double> pops;
+  for (int i = 0; i < 4000; ++i) pops.push_back(rng.NextExponential(5.0));
+  const auto subtrees = MakeSubtrees(pops);
+  const std::vector<double> caps{1.0, 2.0, 3.0, 2.0};
+  const auto owners =
+      MirrorDivisionExact(subtrees, caps, SubtreeOrder::kPopularityDesc);
+  const auto loads = LoadsOf(subtrees, owners, caps.size());
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  for (std::size_t k = 0; k < caps.size(); ++k) {
+    const double expect_share = caps[k] / 8.0;
+    EXPECT_NEAR(loads[k] / total, expect_share, 0.02) << "mds " << k;
+  }
+}
+
+TEST(MirrorDivisionExact, HeterogeneousCapacityRespected) {
+  // One giant MDS should absorb nearly everything.
+  const auto subtrees = MakeSubtrees({5, 4, 3, 2, 1});
+  const std::vector<double> caps{100.0, 1.0};
+  const auto owners =
+      MirrorDivisionExact(subtrees, caps, SubtreeOrder::kPopularityDesc);
+  int first = 0;
+  for (MdsId o : owners) first += (o == 0);
+  EXPECT_GE(first, 4);
+}
+
+TEST(MirrorDivisionExact, ZeroCapacityMdsGetsNothing) {
+  Rng rng(12);
+  std::vector<double> pops;
+  for (int i = 0; i < 200; ++i) pops.push_back(rng.NextDouble() * 10);
+  const auto subtrees = MakeSubtrees(pops);
+  const std::vector<double> caps{1.0, 0.0, 1.0};
+  const auto owners =
+      MirrorDivisionExact(subtrees, caps, SubtreeOrder::kPopularityDesc);
+  for (MdsId o : owners) EXPECT_NE(o, 1);
+}
+
+TEST(MirrorDivisionExact, AllZeroPopularitySpreadsByCount) {
+  const auto subtrees = MakeSubtrees(std::vector<double>(100, 0.0));
+  const std::vector<double> caps{1.0, 1.0};
+  const auto owners =
+      MirrorDivisionExact(subtrees, caps, SubtreeOrder::kPopularityDesc);
+  int first = 0;
+  for (MdsId o : owners) first += (o == 0);
+  EXPECT_EQ(first, 50);
+}
+
+TEST(MirrorDivisionExact, DfsOrderKeepsNeighborsTogether) {
+  // Equal popularity in DFS order: each MDS must own one contiguous run.
+  const auto subtrees = MakeSubtrees(std::vector<double>(30, 1.0));
+  const std::vector<double> caps{1.0, 1.0, 1.0};
+  const auto owners = MirrorDivisionExact(subtrees, caps, SubtreeOrder::kDfs);
+  for (std::size_t i = 1; i < owners.size(); ++i)
+    EXPECT_GE(owners[i], owners[i - 1]) << "non-contiguous run at " << i;
+}
+
+TEST(MirrorDivisionExact, SingleSubtree) {
+  const auto subtrees = MakeSubtrees({42.0});
+  const std::vector<double> caps{1.0, 3.0};
+  const auto owners =
+      MirrorDivisionExact(subtrees, caps, SubtreeOrder::kPopularityDesc);
+  ASSERT_EQ(owners.size(), 1u);
+  // Mass midpoint 0.5 falls in m2's interval (0.25, 1].
+  EXPECT_EQ(owners[0], 1);
+}
+
+TEST(MirrorDivisionExact, EmptyPool) {
+  const std::vector<Subtree> none;
+  const std::vector<double> caps{1.0, 1.0};
+  EXPECT_TRUE(
+      MirrorDivisionExact(none, caps, SubtreeOrder::kPopularityDesc).empty());
+}
+
+TEST(MirrorDivisionSampled, FallsBackToExactForSmallPools) {
+  const auto subtrees = MakeSubtrees({0.5, 0.2, 0.1, 0.1, 0.1});
+  const std::vector<double> caps{0.5, 0.3, 0.2};
+  Rng rng(1);
+  const auto sampled = MirrorDivisionSampled(subtrees, caps, 1000, rng);
+  const auto exact =
+      MirrorDivisionExact(subtrees, caps, SubtreeOrder::kPopularityDesc);
+  EXPECT_EQ(sampled, exact);
+}
+
+TEST(MirrorDivisionSampled, CoversAllMdsAndBalances) {
+  Rng rng(77);
+  std::vector<double> pops;
+  for (int i = 0; i < 20000; ++i) pops.push_back(rng.NextExponential(3.0));
+  const auto subtrees = MakeSubtrees(pops);
+  const std::vector<double> caps{2.0, 1.0, 1.0};
+  Rng srng(5);
+  const auto owners = MirrorDivisionSampled(subtrees, caps, 800, srng);
+  const auto loads = LoadsOf(subtrees, owners, caps.size());
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  EXPECT_NEAR(loads[0] / total, 0.5, 0.08);
+  EXPECT_NEAR(loads[1] / total, 0.25, 0.08);
+  EXPECT_NEAR(loads[2] / total, 0.25, 0.08);
+}
+
+TEST(MirrorDivisionSampled, EqualPopularityDoesNotStackOneMds) {
+  // All subtrees equally popular: hash tie-breaking must still spread them.
+  const auto subtrees = MakeSubtrees(std::vector<double>(5000, 1.0));
+  const std::vector<double> caps{1.0, 1.0};
+  Rng rng(6);
+  const auto owners = MirrorDivisionSampled(subtrees, caps, 100, rng);
+  int first = 0;
+  for (MdsId o : owners) first += (o == 0);
+  EXPECT_NEAR(first, 2500, 300);
+}
+
+TEST(MirrorDivisionSampled, ErrorShrinksWithSampleCount) {
+  Rng rng(31);
+  std::vector<double> pops;
+  for (int i = 0; i < 50000; ++i) pops.push_back(rng.NextExponential(2.0));
+  const auto subtrees = MakeSubtrees(pops);
+  const std::vector<double> caps{1.0, 1.0, 1.0, 1.0};
+  const double total = std::accumulate(pops.begin(), pops.end(), 0.0);
+  const double mu = total / 4.0;
+
+  auto max_rel_err = [&](std::size_t samples) {
+    double worst = 0.0;
+    // Average over several sampling seeds to smooth noise.
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      Rng srng(seed + 1);
+      const auto owners = MirrorDivisionSampled(subtrees, caps, samples, srng);
+      const auto loads = LoadsOf(subtrees, owners, caps.size());
+      for (double l : loads)
+        worst = std::max(worst, std::fabs(l - mu) / mu);
+    }
+    return worst;
+  };
+  const double coarse = max_rel_err(30);
+  const double fine = max_rel_err(3000);
+  EXPECT_LT(fine, coarse);
+  EXPECT_LT(fine, 0.1);
+}
+
+TEST(AllocateSubtrees, DispatchesOnConfig) {
+  const auto subtrees = MakeSubtrees({0.5, 0.2, 0.1, 0.1, 0.1});
+  const std::vector<double> caps{0.5, 0.3, 0.2};
+  AllocationConfig exact;
+  EXPECT_EQ(AllocateSubtrees(subtrees, caps, exact),
+            MirrorDivisionExact(subtrees, caps, SubtreeOrder::kPopularityDesc));
+  AllocationConfig sampled;
+  sampled.sample_count = 3;
+  sampled.seed = 9;
+  const auto owners = AllocateSubtrees(subtrees, caps, sampled);
+  ASSERT_EQ(owners.size(), 5u);
+  for (MdsId o : owners) {
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, 3);
+  }
+}
+
+class MirrorDivisionCapacitySweep
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MirrorDivisionCapacitySweep, ProportionalityHoldsAtEveryClusterSize) {
+  const std::size_t m = GetParam();
+  Rng rng(m * 1000 + 7);
+  std::vector<double> pops;
+  for (int i = 0; i < 8000; ++i) pops.push_back(rng.NextExponential(4.0));
+  const auto subtrees = MakeSubtrees(pops);
+  std::vector<double> caps(m, 1.0);
+  const auto owners =
+      MirrorDivisionExact(subtrees, caps, SubtreeOrder::kPopularityDesc);
+  const auto loads = LoadsOf(subtrees, owners, m);
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  for (double l : loads)
+    EXPECT_NEAR(l / total, 1.0 / static_cast<double>(m),
+                0.25 / static_cast<double>(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, MirrorDivisionCapacitySweep,
+                         ::testing::Values(2, 3, 5, 8, 16, 32));
+
+}  // namespace
+}  // namespace d2tree

@@ -1,0 +1,371 @@
+// Tests for LocalIndex, Monitor, GlobalLayerManager, SerialLock and the
+// end-to-end D2TreeScheme partitioner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "d2tree/core/d2tree.h"
+#include "d2tree/core/global_layer.h"
+#include "d2tree/core/lock_service.h"
+#include "d2tree/metrics/metrics.h"
+#include "d2tree/trace/profiles.h"
+
+namespace d2tree {
+namespace {
+
+Workload SmallWorkload() {
+  TraceProfile p = LmbeProfile(0.05);  // ~6k nodes, 18k records
+  return GenerateWorkload(p);
+}
+
+TEST(LocalIndex, RouteFindsSubtreeOwner) {
+  NamespaceTree t;
+  t.GetOrCreatePath("/home/b/h.jpg", NodeType::kFile);
+  t.GetOrCreatePath("/home/a", NodeType::kDirectory);
+  t.RecomputeSubtreePopularity();
+  const std::vector<NodeId> gl{t.root(), t.Resolve("/home")};
+  const SplitLayers layers = ExtractLayers(t, gl);
+  ASSERT_EQ(layers.subtrees.size(), 2u);  // /home/b and /home/a
+
+  std::vector<MdsId> owners(layers.subtrees.size());
+  for (std::size_t i = 0; i < owners.size(); ++i)
+    owners[i] = static_cast<MdsId>(i);
+  const LocalIndex index(layers, owners);
+
+  // Sec. IV-A2's worked example: querying /home/b/h.jpg routes to the MDS
+  // owning the subtree rooted at /home/b.
+  const auto via_child = index.Route(t, t.Resolve("/home/b/h.jpg"));
+  const auto via_root = index.OwnerOfSubtree(t.Resolve("/home/b"));
+  ASSERT_TRUE(via_child.has_value());
+  EXPECT_EQ(via_child, via_root);
+
+  // GL-resident target: no prefix is a subtree root.
+  EXPECT_FALSE(index.Route(t, t.Resolve("/home")).has_value());
+  EXPECT_FALSE(index.Route(t, t.root()).has_value());
+}
+
+TEST(LocalIndex, IsInterNodeAndSubtreesOf) {
+  NamespaceTree t;
+  t.GetOrCreatePath("/x/a", NodeType::kFile);
+  t.GetOrCreatePath("/x/b", NodeType::kFile);
+  t.RecomputeSubtreePopularity();
+  const SplitLayers layers =
+      ExtractLayers(t, {t.root(), t.Resolve("/x")});
+  const LocalIndex index(layers, {0, 1});
+  EXPECT_TRUE(index.IsInterNode(t.Resolve("/x")));
+  EXPECT_FALSE(index.IsInterNode(t.root()));
+  EXPECT_EQ(index.SubtreesOf(t.Resolve("/x")).size(), 2u);
+  EXPECT_EQ(index.subtree_count(), 2u);
+}
+
+TEST(LocalIndex, SetOwnerOverwrites) {
+  LocalIndex index;
+  index.SetOwner(5, 1, 0);
+  index.SetOwner(5, 1, 3);
+  EXPECT_EQ(index.OwnerOfSubtree(5), std::optional<MdsId>(3));
+}
+
+TEST(Monitor, HeartbeatsReplacePerMds) {
+  Monitor mon;
+  mon.ReceiveHeartbeat({0, 10.0, 1.0});
+  mon.ReceiveHeartbeat({1, 5.0, -1.0});
+  mon.ReceiveHeartbeat({0, 12.0, 2.0});
+  ASSERT_EQ(mon.heartbeats().size(), 2u);
+  EXPECT_DOUBLE_EQ(mon.heartbeats()[0].load, 12.0);
+}
+
+std::vector<Subtree> PlainSubtrees(const std::vector<double>& pops) {
+  std::vector<Subtree> out;
+  for (std::size_t i = 0; i < pops.size(); ++i) {
+    Subtree s;
+    s.root = static_cast<NodeId>(i + 10);
+    s.popularity = pops[i];
+    s.node_count = 3;
+    out.push_back(s);
+  }
+  return out;
+}
+
+TEST(Monitor, NoMigrationWhenBalanced) {
+  Monitor mon;
+  const auto subtrees = PlainSubtrees({10, 10, 10, 10});
+  const std::vector<MdsId> owners{0, 1, 0, 1};
+  const MdsCluster cluster = MdsCluster::Homogeneous(2);
+  const auto plan =
+      mon.PlanAdjustment(subtrees, owners, {0.0, 0.0}, cluster);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(Monitor, OffloadsOverloadedMds) {
+  Monitor mon;
+  // MDS 0 holds everything; MDS 1 idle.
+  const auto subtrees = PlainSubtrees({10, 10, 10, 10});
+  const std::vector<MdsId> owners{0, 0, 0, 0};
+  const MdsCluster cluster = MdsCluster::Homogeneous(2);
+  const auto plan =
+      mon.PlanAdjustment(subtrees, owners, {0.0, 0.0}, cluster);
+  ASSERT_FALSE(plan.empty());
+  double moved = 0;
+  for (const Migration& m : plan) {
+    EXPECT_EQ(m.from, 0);
+    EXPECT_EQ(m.to, 1);
+    moved += subtrees[m.subtree_index].popularity;
+  }
+  EXPECT_NEAR(moved, 20.0, 10.0);  // about half the load shifts
+}
+
+TEST(Monitor, DepartedMdsSubtreesGoToPool) {
+  Monitor mon;
+  const auto subtrees = PlainSubtrees({8, 8, 8, 8});
+  // Owner 5 does not exist in a 2-MDS cluster (server failed/removed).
+  const std::vector<MdsId> owners{0, 5, 5, 1};
+  const MdsCluster cluster = MdsCluster::Homogeneous(2);
+  const auto plan =
+      mon.PlanAdjustment(subtrees, owners, {0.0, 0.0}, cluster);
+  // Both orphaned subtrees must land on a live MDS.
+  std::vector<MdsId> fixed = owners;
+  for (const Migration& m : plan) fixed[m.subtree_index] = m.to;
+  for (std::size_t i = 0; i < fixed.size(); ++i) {
+    EXPECT_GE(fixed[i], 0);
+    EXPECT_LT(fixed[i], 2);
+  }
+}
+
+TEST(Monitor, NewMdsPullsLoad) {
+  Monitor mon;
+  std::vector<double> pops(40, 5.0);
+  const auto subtrees = PlainSubtrees(pops);
+  std::vector<MdsId> owners(40);
+  for (std::size_t i = 0; i < 40; ++i) owners[i] = static_cast<MdsId>(i % 2);
+  const MdsCluster cluster = MdsCluster::Homogeneous(4);  // two new servers
+  const auto plan =
+      mon.PlanAdjustment(subtrees, owners, std::vector<double>(4, 0.0), cluster);
+  double to_new = 0;
+  for (const Migration& m : plan)
+    if (m.to >= 2) to_new += subtrees[m.subtree_index].popularity;
+  // New servers should end up with roughly half the total load (100 of 200).
+  EXPECT_GT(to_new, 60.0);
+}
+
+TEST(Monitor, ToleranceSuppressesSmallImbalance) {
+  MonitorConfig cfg;
+  cfg.overload_tolerance = 0.5;
+  Monitor mon(cfg);
+  const auto subtrees = PlainSubtrees({12, 10});
+  const std::vector<MdsId> owners{0, 1};
+  const auto plan = mon.PlanAdjustment(subtrees, owners, {0.0, 0.0},
+                                       MdsCluster::Homogeneous(2));
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(GlobalLayerManager, VersionsPropagateAfterDelay) {
+  GlobalLayerConfig cfg;
+  cfg.propagation_delay = 0.5;
+  GlobalLayerManager gl(3, cfg);
+  EXPECT_EQ(gl.master_version(), 0u);
+  gl.ApplyUpdate(10.0);
+  EXPECT_EQ(gl.master_version(), 1u);
+  EXPECT_FALSE(gl.ReplicaFresh(0, 10.2));
+  EXPECT_EQ(gl.ReplicaVersion(0, 10.2), 0u);
+  EXPECT_EQ(gl.StaleReplicaCount(10.2), 3u);
+  EXPECT_TRUE(gl.ReplicaFresh(0, 10.5));
+  EXPECT_EQ(gl.ReplicaVersion(1, 11.0), 1u);
+  EXPECT_EQ(gl.StaleReplicaCount(11.0), 0u);
+}
+
+TEST(GlobalLayerManager, LeaseValidity) {
+  GlobalLayerConfig cfg;
+  cfg.lease_duration = 2.0;
+  GlobalLayerManager gl(1, cfg);
+  const double expiry = gl.GrantLease(5.0);
+  EXPECT_DOUBLE_EQ(expiry, 7.0);
+  EXPECT_TRUE(gl.LeaseValid(5.0, 6.9));
+  EXPECT_FALSE(gl.LeaseValid(5.0, 7.1));
+}
+
+TEST(SerialLock, SerializesOverlappingRequests) {
+  SerialLock lock;
+  EXPECT_DOUBLE_EQ(lock.Acquire(0.0, 1.0), 0.0);   // free: granted at once
+  EXPECT_DOUBLE_EQ(lock.Acquire(0.5, 1.0), 1.0);   // waits for holder
+  EXPECT_DOUBLE_EQ(lock.Acquire(0.6, 1.0), 2.0);   // queues behind both
+  EXPECT_DOUBLE_EQ(lock.Acquire(10.0, 1.0), 10.0); // idle again
+  EXPECT_EQ(lock.acquisitions(), 4u);
+  EXPECT_NEAR(lock.total_wait(), 0.5 + 1.4, 1e-9);
+}
+
+TEST(LockTable, PerNodeIndependence) {
+  LockTable table;
+  EXPECT_DOUBLE_EQ(table.LockFor(1).Acquire(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(table.LockFor(2).Acquire(0.1, 5.0), 0.1);  // no contention
+  EXPECT_DOUBLE_EQ(table.LockFor(1).Acquire(0.1, 5.0), 5.0);  // contends
+  EXPECT_EQ(table.lock_count(), 2u);
+  EXPECT_NEAR(table.TotalWait(), 4.9, 1e-9);
+  table.Reset();
+  EXPECT_EQ(table.lock_count(), 0u);
+}
+
+TEST(D2TreeScheme, PartitionProducesValidCrownAssignment) {
+  Workload w = SmallWorkload();
+  D2TreeScheme scheme;
+  const MdsCluster cluster = MdsCluster::Homogeneous(4);
+  const Assignment a = scheme.Partition(w.tree, cluster);
+  EXPECT_TRUE(a.Validate(w.tree, /*require_connected_replicated=*/true));
+  EXPECT_EQ(a.mds_count, 4u);
+  // 1% of the namespace is replicated (the paper's default GL proportion).
+  EXPECT_NEAR(static_cast<double>(a.ReplicatedCount()) /
+                  static_cast<double>(w.tree.size()),
+              0.01, 0.002);
+}
+
+TEST(D2TreeScheme, LocalLayerAccessCostsAtMostOneJump) {
+  Workload w = SmallWorkload();
+  D2TreeScheme scheme;
+  const Assignment a = scheme.Partition(w.tree, MdsCluster::Homogeneous(8));
+  for (NodeId id = 0; id < w.tree.size(); ++id) {
+    EXPECT_LE(JumpsFor(w.tree, a, id), 1u)
+        << "node " << w.tree.PathOf(id);
+  }
+}
+
+TEST(D2TreeScheme, SubtreesStayIntact) {
+  Workload w = SmallWorkload();
+  D2TreeScheme scheme;
+  const Assignment a = scheme.Partition(w.tree, MdsCluster::Homogeneous(6));
+  for (const Subtree& s : scheme.layers().subtrees) {
+    const MdsId owner = a.OwnerOf(s.root);
+    w.tree.VisitSubtree(s.root, [&](NodeId v) {
+      EXPECT_EQ(a.OwnerOf(v), owner) << "subtree torn at " << v;
+    });
+  }
+}
+
+TEST(D2TreeScheme, LocalIndexAgreesWithAssignment) {
+  Workload w = SmallWorkload();
+  D2TreeScheme scheme;
+  const Assignment a = scheme.Partition(w.tree, MdsCluster::Homogeneous(5));
+  const LocalIndex& index = scheme.local_index();
+  for (NodeId id = 0; id < w.tree.size(); ++id) {
+    const auto routed = index.Route(w.tree, id);
+    if (a.IsReplicated(id)) {
+      EXPECT_FALSE(routed.has_value());
+    } else {
+      ASSERT_TRUE(routed.has_value());
+      EXPECT_EQ(*routed, a.OwnerOf(id));
+    }
+  }
+}
+
+TEST(D2TreeScheme, ExplicitBoundsMode) {
+  Workload w = SmallWorkload();
+  // First discover the implied bounds of a 2% split, then ask for them
+  // explicitly and expect a feasible result of similar size.
+  const SplitResult probe = SplitTreeToProportion(w.tree, 0.02);
+  D2TreeConfig cfg;
+  SplitConfig bounds;
+  bounds.locality_cost_bound = probe.locality_cost * 1.01;
+  bounds.update_cost_bound = probe.update_cost * 1.01;
+  cfg.explicit_bounds = bounds;
+  D2TreeScheme scheme(cfg);
+  const Assignment a = scheme.Partition(w.tree, MdsCluster::Homogeneous(4));
+  EXPECT_TRUE(a.Validate(w.tree, true));
+  EXPECT_NEAR(static_cast<double>(scheme.split().global_layer.size()),
+              static_cast<double>(probe.global_layer.size()),
+              probe.global_layer.size() * 0.05 + 2.0);
+}
+
+TEST(D2TreeScheme, RebalanceImprovesBalanceAfterHotspotShift) {
+  Workload w = SmallWorkload();
+  D2TreeScheme scheme;
+  const MdsCluster cluster = MdsCluster::Homogeneous(4);
+  Assignment a = scheme.Partition(w.tree, cluster);
+
+  // Shift the workload: every subtree currently owned by MDS 0 gets 4x
+  // hotter — the kind of skew migrations *can* repair (unlike one
+  // indivisible mega-hot subtree).
+  const auto& subtrees = scheme.layers().subtrees;
+  ASSERT_FALSE(subtrees.empty());
+  for (std::size_t i = 0; i < subtrees.size(); ++i) {
+    if (scheme.subtree_owners()[i] == 0)
+      w.tree.AddAccess(subtrees[i].root, 3.0 * subtrees[i].popularity);
+  }
+  w.tree.RecomputeSubtreePopularity();
+
+  const double before = ComputeBalance(w.tree, a, cluster).balance;
+  const RebalanceResult r = scheme.Rebalance(w.tree, cluster, a);
+  EXPECT_TRUE(r.assignment.Validate(w.tree, true));
+  const double after = ComputeBalance(w.tree, r.assignment, cluster).balance;
+  EXPECT_GE(after, before);
+}
+
+TEST(D2TreeScheme, RebalanceHandlesClusterGrowth) {
+  Workload w = SmallWorkload();
+  D2TreeScheme scheme;
+  Assignment a = scheme.Partition(w.tree, MdsCluster::Homogeneous(3));
+  const MdsCluster bigger = MdsCluster::Homogeneous(6);
+  const RebalanceResult r = scheme.Rebalance(w.tree, bigger, a);
+  EXPECT_TRUE(r.assignment.Validate(w.tree, true));
+  EXPECT_EQ(r.assignment.mds_count, 6u);
+  const auto loads = ComputeLoads(w.tree, r.assignment);
+  // The three new servers must have picked up real load.
+  for (std::size_t k = 3; k < 6; ++k) EXPECT_GT(loads[k], 0.0);
+}
+
+TEST(D2TreeScheme, RebalanceMovesOnlySubtreeUnits) {
+  Workload w = SmallWorkload();
+  D2TreeScheme scheme;
+  const MdsCluster cluster = MdsCluster::Homogeneous(4);
+  Assignment a = scheme.Partition(w.tree, cluster);
+  // Skew popularity, then rebalance; GL membership must not change.
+  const auto gl_before = scheme.split().global_layer;
+  w.tree.AddAccess(scheme.layers().subtrees.front().root, 1e6);
+  w.tree.RecomputeSubtreePopularity();
+  const RebalanceResult r = scheme.Rebalance(w.tree, cluster, a);
+  EXPECT_EQ(scheme.split().global_layer, gl_before);
+  for (NodeId id = 0; id < w.tree.size(); ++id)
+    EXPECT_EQ(a.IsReplicated(id), r.assignment.IsReplicated(id));
+}
+
+TEST(D2TreeScheme, ResplitPeriodRefreshesGlobalLayer) {
+  Workload w = SmallWorkload();
+  D2TreeConfig cfg;
+  cfg.resplit_period = 2;
+  D2TreeScheme scheme(cfg);
+  const MdsCluster cluster = MdsCluster::Homogeneous(4);
+  Assignment a = scheme.Partition(w.tree, cluster);
+
+  // Make a deep leaf's subtree extremely hot; after the periodic re-split
+  // its ancestors should be promoted into the GL crown.
+  const auto& subtrees = scheme.layers().subtrees;
+  std::size_t big = 0;
+  for (std::size_t i = 0; i < subtrees.size(); ++i)
+    if (subtrees[i].node_count > subtrees[big].node_count) big = i;
+  w.tree.AddAccess(subtrees[big].root, w.tree.TotalIndividualPopularity() * 10);
+  w.tree.RecomputeSubtreePopularity();
+
+  a = scheme.Rebalance(w.tree, cluster, a).assignment;      // round 1: no resplit
+  const bool hot_in_gl_round1 = a.IsReplicated(subtrees[big].root);
+  a = scheme.Rebalance(w.tree, cluster, a).assignment;      // round 2: resplit
+  EXPECT_FALSE(hot_in_gl_round1);
+  EXPECT_TRUE(a.IsReplicated(scheme.split().global_layer[1]));
+}
+
+TEST(D2TreeScheme, BalanceImprovesWithGlobalFraction) {
+  // Fig. 9's trend: larger GL proportion → finer local-layer pieces →
+  // better balance.
+  Workload w = SmallWorkload();
+  const MdsCluster cluster = MdsCluster::Homogeneous(8);
+  double prev = -1.0;
+  for (double f : {0.001, 0.01, 0.1}) {
+    D2TreeConfig cfg;
+    cfg.global_fraction = f;
+    D2TreeScheme scheme(cfg);
+    const Assignment a = scheme.Partition(w.tree, cluster);
+    const double bal = ComputeBalance(w.tree, a, cluster).balance;
+    EXPECT_GE(bal, prev * 0.5) << "balance collapsed at fraction " << f;
+    prev = bal;
+  }
+}
+
+}  // namespace
+}  // namespace d2tree

@@ -1,0 +1,258 @@
+// Tests for Tree-Splitting (Alg. 1) and layer extraction (Sec. IV-A/IV-B).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "d2tree/common/rng.h"
+#include "d2tree/core/layers.h"
+#include "d2tree/core/splitter.h"
+#include "d2tree/nstree/builder.h"
+#include "d2tree/trace/profiles.h"
+
+namespace d2tree {
+namespace {
+
+/// Small skewed tree: /hot gets most traffic, /cold little.
+NamespaceTree SkewedTree() {
+  NamespaceTree t;
+  t.GetOrCreatePath("/hot/a", NodeType::kFile);
+  t.GetOrCreatePath("/hot/b", NodeType::kFile);
+  t.GetOrCreatePath("/cold/c", NodeType::kFile);
+  t.GetOrCreatePath("/cold/d", NodeType::kFile);
+  t.AddAccess(t.Resolve("/hot"), 10);
+  t.AddAccess(t.Resolve("/hot/a"), 50);
+  t.AddAccess(t.Resolve("/hot/b"), 40);
+  t.AddAccess(t.Resolve("/cold/c"), 3);
+  t.AddAccess(t.Resolve("/cold/d"), 2);
+  t.RecomputeSubtreePopularity();
+  return t;
+}
+
+NamespaceTree RandomPopularTree(std::size_t nodes, std::uint64_t seed,
+                                double theta = 1.0) {
+  Rng rng(seed);
+  SyntheticTreeConfig cfg;
+  cfg.node_count = nodes;
+  cfg.max_depth = 12;
+  NamespaceTree t = BuildSyntheticTree(cfg, rng);
+  // Zipf-ish popularity over ids (shallow nodes have small ids).
+  for (NodeId id = 0; id < t.size(); ++id)
+    t.AddAccess(id, 1000.0 / std::pow(static_cast<double>(id) + 1.0, theta));
+  t.RecomputeSubtreePopularity();
+  return t;
+}
+
+TEST(SplitTree, RootAlwaysInGlobalLayer) {
+  const NamespaceTree t = SkewedTree();
+  const SplitResult r = SplitTree(t, SplitConfig{});
+  ASSERT_TRUE(r.feasible);
+  ASSERT_FALSE(r.global_layer.empty());
+  EXPECT_EQ(r.global_layer.front(), t.root());
+}
+
+TEST(SplitTree, UnboundedPromotesEverything) {
+  const NamespaceTree t = SkewedTree();
+  const SplitResult r = SplitTree(t, SplitConfig{});
+  EXPECT_EQ(r.global_layer.size(), t.size());
+  EXPECT_DOUBLE_EQ(r.locality_cost, 0.0);
+}
+
+TEST(SplitTree, GreedyPromotionOrderIsByPopularity) {
+  const NamespaceTree t = SkewedTree();
+  SplitConfig cfg;
+  cfg.max_global_nodes = 3;  // root + two hottest frontier nodes
+  const SplitResult r = SplitTree(t, cfg);
+  ASSERT_EQ(r.global_layer.size(), 3u);
+  // Frontier after root: /hot (p=100) and /cold (p=5). /hot goes first,
+  // then its hottest child /hot/a (p=50) beats /cold (p=5).
+  EXPECT_EQ(r.global_layer[1], t.Resolve("/hot"));
+  EXPECT_EQ(r.global_layer[2], t.Resolve("/hot/a"));
+}
+
+TEST(SplitTree, GlobalLayerIsParentClosed) {
+  const NamespaceTree t = RandomPopularTree(4000, 21);
+  SplitConfig cfg;
+  cfg.max_global_nodes = 123;
+  const SplitResult r = SplitTree(t, cfg);
+  std::set<NodeId> gl(r.global_layer.begin(), r.global_layer.end());
+  for (NodeId id : r.global_layer) {
+    if (id == t.root()) continue;
+    EXPECT_TRUE(gl.contains(t.node(id).parent))
+        << "node " << id << " promoted before its parent";
+  }
+}
+
+TEST(SplitTree, UpdateBudgetStopsPromotion) {
+  const NamespaceTree t = SkewedTree();  // unit update costs
+  SplitConfig cfg;
+  cfg.update_cost_bound = 2.0;  // first candidate costs 1 (<2), second hits 2
+  const SplitResult r = SplitTree(t, cfg);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.global_layer.size(), 2u);  // root + one node
+  EXPECT_LT(r.update_cost, cfg.update_cost_bound);
+}
+
+TEST(SplitTree, InfeasibleWhenLocalityUnreachableWithinBudget) {
+  const NamespaceTree t = SkewedTree();
+  SplitConfig cfg;
+  cfg.update_cost_bound = 2.0;       // allows only one promotion
+  cfg.locality_cost_bound = 1.0;     // but demands nearly everything promoted
+  const SplitResult r = SplitTree(t, cfg);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_TRUE(r.global_layer.empty());  // Alg. 1 returns {}
+}
+
+TEST(SplitTree, LocalityCostMatchesLayerSum) {
+  const NamespaceTree t = RandomPopularTree(3000, 33);
+  SplitConfig cfg;
+  cfg.max_global_nodes = 60;
+  const SplitResult r = SplitTree(t, cfg);
+  const SplitLayers layers = ExtractLayers(t, r.global_layer);
+  double ll_sum = 0.0;
+  for (NodeId id = 0; id < t.size(); ++id)
+    if (!layers.in_global[id]) ll_sum += t.node(id).subtree_popularity;
+  EXPECT_NEAR(r.locality_cost, ll_sum, 1e-6 * std::max(1.0, ll_sum));
+}
+
+TEST(SplitTree, MonotoneLocalityCostInGlobalSize) {
+  const NamespaceTree t = RandomPopularTree(3000, 35);
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t cap : {2u, 8u, 32u, 128u, 512u}) {
+    SplitConfig cfg;
+    cfg.max_global_nodes = cap;
+    const SplitResult r = SplitTree(t, cfg);
+    EXPECT_LE(r.locality_cost, prev);
+    prev = r.locality_cost;
+  }
+}
+
+TEST(SplitTreeToProportion, HitsRequestedFraction) {
+  const NamespaceTree t = RandomPopularTree(10000, 41);
+  for (double f : {0.001, 0.01, 0.1, 0.2}) {
+    const SplitResult r = SplitTreeToProportion(t, f);
+    ASSERT_TRUE(r.feasible);
+    const double got =
+        static_cast<double>(r.global_layer.size()) / static_cast<double>(t.size());
+    EXPECT_NEAR(got, f, 1.0 / static_cast<double>(t.size()) + 1e-9) << f;
+  }
+}
+
+TEST(SplitTreeToProportion, ImpliedBoundsGrowWithProportion) {
+  // Fig. 8's shape: bigger GL => higher update cost, lower locality cost.
+  const NamespaceTree t = RandomPopularTree(8000, 43);
+  double prev_update = -1.0, prev_loc = std::numeric_limits<double>::infinity();
+  for (double f : {0.001, 0.01, 0.05, 0.2, 0.5}) {
+    const SplitResult r = SplitTreeToProportion(t, f);
+    EXPECT_GE(r.update_cost, prev_update);
+    EXPECT_LE(r.locality_cost, prev_loc);
+    prev_update = r.update_cost;
+    prev_loc = r.locality_cost;
+  }
+}
+
+TEST(ExtractLayers, Fig2CutLine) {
+  // Reproduce Fig. 2: GL = {root, home, b, var, usr}; inter nodes are home
+  // (subtree a), b (g.pdf, h.jpg), var (d, e), usr (f).
+  NamespaceTree t;
+  t.GetOrCreatePath("/home/a/c.txt", NodeType::kFile);
+  t.GetOrCreatePath("/home/b/g.pdf", NodeType::kFile);
+  t.GetOrCreatePath("/home/b/h.jpg", NodeType::kFile);
+  t.GetOrCreatePath("/var/d", NodeType::kDirectory);
+  t.GetOrCreatePath("/var/e", NodeType::kDirectory);
+  t.GetOrCreatePath("/usr/f/j.doc", NodeType::kFile);
+  t.RecomputeSubtreePopularity();
+  const std::vector<NodeId> gl{t.root(), t.Resolve("/home"),
+                               t.Resolve("/home/b"), t.Resolve("/var"),
+                               t.Resolve("/usr")};
+  const SplitLayers layers = ExtractLayers(t, gl);
+  EXPECT_EQ(layers.global_layer.size(), 5u);
+  EXPECT_EQ(layers.inter_nodes.size(), 4u);
+  EXPECT_EQ(layers.subtrees.size(), 6u);  // a, g.pdf, h.jpg, d, e, f
+
+  std::set<std::string> roots;
+  for (const Subtree& s : layers.subtrees) roots.insert(t.PathOf(s.root));
+  EXPECT_TRUE(roots.contains("/home/a"));
+  EXPECT_TRUE(roots.contains("/home/b/g.pdf"));
+  EXPECT_TRUE(roots.contains("/usr/f"));
+  for (const Subtree& s : layers.subtrees)
+    EXPECT_TRUE(layers.in_global[s.inter_parent]);
+}
+
+TEST(ExtractLayers, SubtreesPartitionLocalLayer) {
+  const NamespaceTree t = RandomPopularTree(5000, 51);
+  SplitConfig cfg;
+  cfg.max_global_nodes = 50;
+  const SplitResult r = SplitTree(t, cfg);
+  const SplitLayers layers = ExtractLayers(t, r.global_layer);
+  std::vector<int> covered(t.size(), 0);
+  for (NodeId id : r.global_layer) ++covered[id];
+  std::size_t total_subtree_nodes = 0;
+  for (const Subtree& s : layers.subtrees) {
+    total_subtree_nodes += s.node_count;
+    t.VisitSubtree(s.root, [&](NodeId v) { ++covered[v]; });
+  }
+  for (NodeId id = 0; id < t.size(); ++id)
+    EXPECT_EQ(covered[id], 1) << "node " << id << " covered wrong";
+  EXPECT_EQ(total_subtree_nodes + r.global_layer.size(), t.size());
+}
+
+TEST(ExtractLayers, SubtreePopularityIsRootTotal) {
+  const NamespaceTree t = SkewedTree();
+  const std::vector<NodeId> gl{t.root(), t.Resolve("/hot")};
+  const SplitLayers layers = ExtractLayers(t, gl);
+  for (const Subtree& s : layers.subtrees)
+    EXPECT_DOUBLE_EQ(s.popularity, t.node(s.root).subtree_popularity);
+}
+
+TEST(ExtractLayers, PopularityRange) {
+  const NamespaceTree t = SkewedTree();
+  const std::vector<NodeId> gl{t.root()};
+  const SplitLayers layers = ExtractLayers(t, gl);
+  const auto [lo, hi] = layers.PopularityRange();
+  EXPECT_DOUBLE_EQ(lo, 5.0);    // /cold
+  EXPECT_DOUBLE_EQ(hi, 100.0);  // /hot
+}
+
+TEST(ExtractLayers, SubtreesInDfsOrder) {
+  const NamespaceTree t = RandomPopularTree(2000, 61);
+  SplitConfig cfg;
+  cfg.max_global_nodes = 30;
+  const SplitResult r = SplitTree(t, cfg);
+  const SplitLayers layers = ExtractLayers(t, r.global_layer);
+  const auto pre = t.PreorderNodes();
+  std::vector<std::size_t> pos(t.size());
+  for (std::size_t i = 0; i < pre.size(); ++i) pos[pre[i]] = i;
+  for (std::size_t i = 1; i < layers.subtrees.size(); ++i) {
+    EXPECT_LT(pos[layers.subtrees[i - 1].inter_parent],
+              pos[layers.subtrees[i].inter_parent] + 1);
+  }
+}
+
+class SplitProportionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitProportionSweep, FeasibleAndConsistentOnRealisticWorkloads) {
+  const double fraction = GetParam();
+  const Workload w = GenerateWorkload(LmbeProfile(0.05));
+  const SplitResult r = SplitTreeToProportion(w.tree, fraction);
+  ASSERT_TRUE(r.feasible);
+  const SplitLayers layers = ExtractLayers(w.tree, r.global_layer);
+  // Locality cost reported by the split equals the LL popularity sum.
+  double ll = 0.0;
+  for (NodeId id = 0; id < w.tree.size(); ++id)
+    if (!layers.in_global[id]) ll += w.tree.node(id).subtree_popularity;
+  EXPECT_NEAR(r.locality_cost, ll, 1e-6 * std::max(1.0, ll));
+  // Every subtree root's parent is an inter node in the GL.
+  for (const Subtree& s : layers.subtrees) {
+    EXPECT_TRUE(layers.in_global[s.inter_parent]);
+    EXPECT_FALSE(layers.in_global[s.root]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Proportions, SplitProportionSweep,
+                         ::testing::Values(0.001, 0.005, 0.01, 0.02, 0.05,
+                                           0.1, 0.2));
+
+}  // namespace
+}  // namespace d2tree

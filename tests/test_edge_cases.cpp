@@ -1,0 +1,202 @@
+// Edge cases and property sweeps across modules: degenerate trees, zero
+// popularity, extreme global-layer fractions, single-subtree pools,
+// heterogeneous capacity sweeps, and cross-module invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "d2tree/baselines/registry.h"
+#include "d2tree/core/d2tree.h"
+#include "d2tree/metrics/metrics.h"
+#include "d2tree/trace/profiles.h"
+
+namespace d2tree {
+namespace {
+
+TEST(EdgeSplit, RootOnlyTree) {
+  NamespaceTree t;  // just "/"
+  t.RecomputeSubtreePopularity();
+  const SplitResult r = SplitTree(t, SplitConfig{});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.global_layer.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.locality_cost, 0.0);
+  const SplitLayers layers = ExtractLayers(t, r.global_layer);
+  EXPECT_TRUE(layers.subtrees.empty());
+  EXPECT_TRUE(layers.inter_nodes.empty());
+}
+
+TEST(EdgeSplit, ZeroPopularityTreeStillSplits) {
+  NamespaceTree t;
+  for (int i = 0; i < 50; ++i)
+    t.GetOrCreatePath("/d/" + std::to_string(i), NodeType::kFile);
+  t.RecomputeSubtreePopularity();  // all zero
+  const SplitResult r = SplitTreeToProportion(t, 0.1);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.global_layer.size(), 1u);
+  const SplitLayers layers = ExtractLayers(t, r.global_layer);
+  // Coverage invariant holds even without popularity.
+  std::size_t covered = r.global_layer.size();
+  for (const Subtree& s : layers.subtrees) covered += s.node_count;
+  EXPECT_EQ(covered, t.size());
+}
+
+TEST(EdgeSplit, ChainTree) {
+  // Pathological chain /a/a/a/... — every GL node except the last is an
+  // inter node with exactly one subtree... actually exactly the deepest
+  // GL node has one subtree below it.
+  NamespaceTree t;
+  std::string path;
+  for (int i = 0; i < 40; ++i) {
+    path += "/a";
+    t.GetOrCreatePath(path, NodeType::kDirectory);
+  }
+  t.AddAccess(t.Resolve(path), 10);
+  t.RecomputeSubtreePopularity();
+  SplitConfig cfg;
+  cfg.max_global_nodes = 10;
+  const SplitResult r = SplitTree(t, cfg);
+  const SplitLayers layers = ExtractLayers(t, r.global_layer);
+  ASSERT_EQ(layers.subtrees.size(), 1u);
+  EXPECT_EQ(layers.inter_nodes.size(), 1u);
+  EXPECT_EQ(layers.subtrees[0].node_count, t.size() - 10);
+}
+
+TEST(EdgeScheme, SingleMds) {
+  Workload w = GenerateWorkload(LmbeProfile(0.02));
+  D2TreeScheme scheme;
+  const MdsCluster cluster = MdsCluster::Homogeneous(1);
+  const Assignment a = scheme.Partition(w.tree, cluster);
+  ASSERT_TRUE(a.Validate(w.tree, true));
+  // Everything is reachable with zero or one jump; locality cost is the
+  // Eq. (7) sum but there is only one server to jump to.
+  for (NodeId id = 0; id < w.tree.size(); id += 97)
+    EXPECT_LE(JumpsFor(w.tree, a, id), 1u);
+}
+
+TEST(EdgeScheme, GlobalFractionNearlyOne) {
+  Workload w = GenerateWorkload(LmbeProfile(0.02));
+  D2TreeConfig cfg;
+  cfg.global_fraction = 0.999;
+  D2TreeScheme scheme(cfg);
+  const Assignment a = scheme.Partition(w.tree, MdsCluster::Homogeneous(4));
+  ASSERT_TRUE(a.Validate(w.tree, true));
+  // Nearly everything replicated: locality cost collapses.
+  const LocalityReport loc = ComputeLocality(w.tree, a);
+  EXPECT_LT(loc.cost, w.tree.node(w.tree.root()).subtree_popularity * 0.1);
+}
+
+TEST(EdgeScheme, MoreMdsThanSubtrees) {
+  // Tiny namespace, big cluster: some servers stay empty but the
+  // assignment must remain valid and balanced over the subtree count.
+  NamespaceTree t;
+  for (int i = 0; i < 6; ++i)
+    t.GetOrCreatePath("/d" + std::to_string(i) + "/f", NodeType::kFile);
+  for (int i = 0; i < 6; ++i)
+    t.AddAccess(t.Resolve("/d" + std::to_string(i) + "/f"), 1 + i);
+  t.RecomputeSubtreePopularity();
+  D2TreeConfig cfg;
+  cfg.global_fraction = 0.05;  // just the root
+  D2TreeScheme scheme(cfg);
+  const Assignment a = scheme.Partition(t, MdsCluster::Homogeneous(32));
+  EXPECT_TRUE(a.Validate(t, true));
+}
+
+TEST(EdgeMonitor, EmptySubtreeList) {
+  Monitor mon;
+  const auto plan = mon.PlanAdjustment({}, {}, {0.0, 0.0},
+                                       MdsCluster::Homogeneous(2));
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(mon.last_pool_size(), 0u);
+}
+
+TEST(EdgeMetrics, EmptyPopularityLocalityInfinite) {
+  NamespaceTree t;
+  t.GetOrCreatePath("/a/b", NodeType::kFile);
+  t.RecomputeSubtreePopularity();
+  Assignment a;
+  a.mds_count = 2;
+  a.owner = {0, 1, 0};
+  const LocalityReport r = ComputeLocality(t, a);
+  EXPECT_TRUE(std::isinf(r.locality));
+}
+
+class HeterogeneousCapacitySweep
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(HeterogeneousCapacitySweep, MirrorDivisionTracksCapacityRatio) {
+  const double ratio = GetParam();  // capacity of server 0 vs the others
+  Workload w = GenerateWorkload(RaProfile(0.02));
+  MdsCluster cluster = MdsCluster::Homogeneous(4);
+  cluster.capacities[0] = ratio;
+  D2TreeScheme scheme;
+  Assignment a = scheme.Partition(w.tree, cluster);
+  for (int round = 0; round < 5; ++round)
+    a = scheme.Rebalance(w.tree, cluster, a).assignment;
+  const auto loads = ComputeLoads(w.tree, a);
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  const double expected = ratio / (ratio + 3.0);
+  EXPECT_NEAR(loads[0] / total, expected, 0.10 + expected * 0.25)
+      << "ratio " << ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, HeterogeneousCapacitySweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "x" + std::to_string(
+                                            static_cast<int>(info.param * 10));
+                         });
+
+class SchemeClusterGrowthSweep
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchemeClusterGrowthSweep, SurvivesGrowAndShrink) {
+  Workload w = GenerateWorkload(LmbeProfile(0.03));
+  const auto scheme = MakeScheme(GetParam());
+  Assignment a = scheme->Partition(w.tree, MdsCluster::Homogeneous(4));
+  // Grow to 8, shrink to 3; placement must stay valid throughout.
+  for (std::size_t m : {8u, 3u}) {
+    const MdsCluster cluster = MdsCluster::Homogeneous(m);
+    a = scheme->Rebalance(w.tree, cluster, a).assignment;
+    ASSERT_TRUE(a.Validate(w.tree)) << GetParam() << " M=" << m;
+    EXPECT_EQ(a.mds_count, m) << GetParam();
+    for (NodeId id = 0; id < w.tree.size(); ++id) {
+      if (a.IsReplicated(id)) continue;
+      ASSERT_LT(a.OwnerOf(id), static_cast<MdsId>(m))
+          << GetParam() << " node beyond cluster after shrink";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SchemeClusterGrowthSweep,
+                         ::testing::Values("d2tree", "dynamic-subtree",
+                                           "drop", "anglecut", "hash"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string n = i.param;
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(EdgeWorkload, TinyScaleStillSatisfiesInvariants) {
+  // Scale 0.005 gives a few hundred nodes; everything must still hold.
+  const Workload w = GenerateWorkload(LmbeProfile(0.005));
+  EXPECT_GT(w.tree.size(), 100u);
+  D2TreeScheme scheme;
+  const Assignment a = scheme.Partition(w.tree, MdsCluster::Homogeneous(3));
+  EXPECT_TRUE(a.Validate(w.tree, true));
+  for (NodeId id = 0; id < w.tree.size(); ++id)
+    EXPECT_LE(JumpsFor(w.tree, a, id), 1u);
+}
+
+TEST(EdgeWorkload, UpdateCostEqualsGlSizeWithUnitCosts) {
+  // Default update cost is 1 per node, so Def. 4 reduces to |GL|.
+  const Workload w = GenerateWorkload(DtrProfile(0.02));
+  D2TreeScheme scheme;
+  const Assignment a = scheme.Partition(w.tree, MdsCluster::Homogeneous(4));
+  EXPECT_DOUBLE_EQ(ComputeUpdateCost(w.tree, a),
+                   static_cast<double>(a.ReplicatedCount()));
+}
+
+}  // namespace
+}  // namespace d2tree

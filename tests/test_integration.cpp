@@ -1,0 +1,227 @@
+// Integration tests: the paper's figure-level claims asserted end-to-end
+// at test scale (small workloads, fewer rounds — the same code paths the
+// bench binaries exercise at full scale).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "d2tree/common/histogram.h"
+#include "d2tree/baselines/registry.h"
+#include "d2tree/core/d2tree.h"
+#include "d2tree/metrics/metrics.h"
+#include "d2tree/sim/experiment.h"
+#include "d2tree/trace/profiles.h"
+
+namespace d2tree {
+namespace {
+
+/// One shared workload per dataset (generation is the expensive part).
+const Workload& Dataset(const std::string& name) {
+  static std::map<std::string, Workload> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    TraceProfile p = name == "DTR"    ? DtrProfile(0.1)
+                     : name == "LMBE" ? LmbeProfile(0.1)
+                                      : RaProfile(0.05);
+    it = cache.emplace(name, GenerateWorkload(p)).first;
+  }
+  return it->second;
+}
+
+SchemeRunResult RunExp(const std::string& scheme, const std::string& dataset,
+                    std::size_t m, bool with_sim = true) {
+  ExperimentOptions opt;
+  opt.adjustment_rounds = 5;
+  opt.run_throughput_sim = with_sim;
+  opt.sim.max_ops = 15'000;
+  return RunSchemeExperiment(scheme, Dataset(dataset), m, opt);
+}
+
+TEST(Fig5Shape, D2TreeBeatsAllBaselinesOnEveryDataset) {
+  for (const char* ds : {"DTR", "LMBE", "RA"}) {
+    const double d2 = RunExp("d2tree", ds, 10).throughput;
+    for (const char* base :
+         {"static-subtree", "dynamic-subtree", "drop", "anglecut"}) {
+      EXPECT_GT(d2, RunExp(base, ds, 10).throughput * 0.99)
+          << ds << " vs " << base;
+    }
+  }
+}
+
+TEST(Fig5Shape, D2TreeThroughputScalesWithClusterOnDtr) {
+  // "the performance of D2-Tree improves as the MDS cluster is scaled"
+  const double t5 = RunExp("d2tree", "DTR", 5).throughput;
+  const double t20 = RunExp("d2tree", "DTR", 20).throughput;
+  EXPECT_GT(t20, 2.0 * t5);
+}
+
+TEST(Fig5Shape, AngleCutThroughputIsWorst) {
+  for (const char* ds : {"DTR", "LMBE"}) {
+    const double angle = RunExp("anglecut", ds, 10).throughput;
+    for (const char* other : {"d2tree", "static-subtree", "drop"}) {
+      EXPECT_LT(angle, RunExp(other, ds, 10).throughput) << ds << " " << other;
+    }
+  }
+}
+
+TEST(Fig5Shape, RaUpdatesDepressD2TreeScaling) {
+  // RA (16% updates, GL-locked) must scale worse than LMBE (0.015%).
+  const double ra = RunExp("d2tree", "RA", 20).throughput /
+                    RunExp("d2tree", "RA", 5).throughput;
+  const double lmbe = RunExp("d2tree", "LMBE", 20).throughput /
+                      RunExp("d2tree", "LMBE", 5).throughput;
+  EXPECT_LT(ra, lmbe);
+}
+
+TEST(Fig6Shape, D2TreeAndStaticLocalityFlatInClusterSize) {
+  for (const char* scheme : {"d2tree", "static-subtree"}) {
+    const double l5 = RunExp(scheme, "LMBE", 5, false).locality;
+    const double l30 = RunExp(scheme, "LMBE", 30, false).locality;
+    EXPECT_NEAR(l30 / l5, 1.0, 0.15) << scheme;
+  }
+}
+
+TEST(Fig6Shape, HashFamilyLocalityDegradesWithClusterSize) {
+  for (const char* scheme : {"drop", "dynamic-subtree"}) {
+    const double l5 = RunExp(scheme, "DTR", 5, false).locality;
+    const double l30 = RunExp(scheme, "DTR", 30, false).locality;
+    EXPECT_LT(l30, l5) << scheme;
+  }
+}
+
+TEST(Fig6Shape, D2TreeLocalityBestAndAngleCutWorst) {
+  for (const char* ds : {"DTR", "LMBE", "RA"}) {
+    const double d2 = RunExp("d2tree", ds, 15, false).locality;
+    const double angle = RunExp("anglecut", ds, 15, false).locality;
+    for (const char* other :
+         {"static-subtree", "dynamic-subtree", "drop", "anglecut"}) {
+      EXPECT_GT(d2, RunExp(other, ds, 15, false).locality) << ds << " " << other;
+    }
+    for (const char* other : {"static-subtree", "d2tree", "drop"}) {
+      EXPECT_LT(angle, RunExp(other, ds, 15, false).locality) << ds << " " << other;
+    }
+  }
+}
+
+TEST(Fig7Shape, ReplicationAndHashingBeatSubtreeSchemesOnBalance) {
+  for (const char* ds : {"LMBE", "RA"}) {
+    const double d2 = RunExp("d2tree", ds, 10, false).balance;
+    const double drop = RunExp("drop", ds, 10, false).balance;
+    const double dynamic = RunExp("dynamic-subtree", ds, 10, false).balance;
+    const double stat = RunExp("static-subtree", ds, 10, false).balance;
+    EXPECT_GT(d2, dynamic) << ds;       // "D2-Tree better than dynamic"
+    EXPECT_GT(drop, dynamic * 0.9) << ds;
+    EXPECT_GT(dynamic, stat) << ds;     // static is the floor
+  }
+}
+
+TEST(Fig8Shape, ConstraintsMonotoneInGlobalProportion) {
+  const Workload& w = Dataset("DTR");
+  double prev_cost = 1e300, prev_update = -1;
+  for (double f : {0.001, 0.01, 0.1, 0.2}) {
+    const SplitResult r = SplitTreeToProportion(w.tree, f);
+    EXPECT_LE(r.locality_cost, prev_cost);
+    EXPECT_GE(r.update_cost, prev_update);
+    prev_cost = r.locality_cost;
+    prev_update = r.update_cost;
+  }
+}
+
+TEST(Fig9Shape, BalanceImprovesWithGlobalLayerProportion) {
+  const Workload& w = Dataset("DTR");
+  const MdsCluster cluster = MdsCluster::Homogeneous(10);
+  double small = 0, large = 0;
+  for (double f : {0.001, 0.2}) {
+    D2TreeConfig cfg;
+    cfg.global_fraction = f;
+    D2TreeScheme scheme(cfg);
+    Assignment a = scheme.Partition(w.tree, cluster);
+    for (int round = 0; round < 5; ++round)
+      a = scheme.Rebalance(w.tree, cluster, a).assignment;
+    (f < 0.01 ? small : large) = ComputeBalance(w.tree, a, cluster).balance;
+  }
+  EXPECT_GT(large, small);
+}
+
+TEST(MovementCost, D2TreeMovesLessThanDynamicSubtreeUnderChurn) {
+  // Sec. II's thrashing claim: dynamic subtree migrates large volumes;
+  // D2-Tree only moves whole subtrees out of the pending pool.
+  const std::string ds = "RA";
+  ExperimentOptions opt;
+  opt.adjustment_rounds = 8;
+  opt.run_throughput_sim = false;
+  const auto d2 = RunSchemeExperiment("d2tree", Dataset(ds), 12, opt);
+  const auto dyn = RunSchemeExperiment("dynamic-subtree", Dataset(ds), 12, opt);
+  EXPECT_LT(d2.moved_nodes_total, dyn.moved_nodes_total + 1);
+}
+
+TEST(WeightedQuantile, SplitsMassProportionally) {
+  // 100 items of weight 1 at keys 0.005, 0.015, ...
+  std::vector<double> keys(100), weights(100, 1.0);
+  for (int i = 0; i < 100; ++i) keys[i] = 0.005 + 0.01 * i;
+  const std::vector<double> shares{0.25, 0.5, 1.0};
+  const auto bounds = WeightedQuantileBoundaries(keys, weights, shares);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_NEAR(bounds[0], 0.25, 0.011);
+  EXPECT_NEAR(bounds[1], 0.50, 0.011);
+  EXPECT_DOUBLE_EQ(bounds[2], 1.0);
+}
+
+TEST(WeightedQuantile, HeavyItemGoesToOneSide) {
+  // One item holds 90% of the mass; the first boundary must sit right
+  // before or after it, never split it.
+  std::vector<double> keys{0.1, 0.5, 0.9};
+  std::vector<double> weights{0.05, 0.9, 0.05};
+  const std::vector<double> shares{0.5, 1.0};
+  const auto bounds = WeightedQuantileBoundaries(keys, weights, shares);
+  // Closest achievable to 50% is either 5% (cut before) or 95% (after);
+  // the midpoint rule places the boundary between items.
+  EXPECT_TRUE(std::abs(bounds[0] - 0.3) < 1e-9 ||
+              std::abs(bounds[0] - 0.7) < 1e-9)
+      << bounds[0];
+}
+
+TEST(Heterogeneous, LoadsFollowCapacitiesUnderD2Tree) {
+  // The Sec. III formalism allows per-server capacities C_k; the mirror
+  // division must load servers proportionally.
+  const Workload& w = Dataset("LMBE");
+  const MdsCluster cluster{std::vector<double>{1.0, 2.0, 4.0, 1.0}};
+  D2TreeScheme scheme;
+  Assignment a = scheme.Partition(w.tree, cluster);
+  for (int round = 0; round < 5; ++round)
+    a = scheme.Rebalance(w.tree, cluster, a).assignment;
+  const auto loads = ComputeLoads(w.tree, a);
+  double total = 0.0;
+  for (double l : loads) total += l;
+  EXPECT_NEAR(loads[2] / total, 0.5, 0.08);   // the big server carries half
+  EXPECT_NEAR(loads[0] / total, 0.125, 0.05);
+}
+
+TEST(Heterogeneous, DropRangesFollowCapacities) {
+  const Workload& w = Dataset("LMBE");
+  const MdsCluster cluster{std::vector<double>{3.0, 1.0}};
+  const auto scheme = MakeScheme("drop");
+  Assignment a = scheme->Partition(w.tree, cluster);
+  a = scheme->Rebalance(w.tree, cluster, a).assignment;
+  const auto loads = ComputeLoads(w.tree, a);
+  EXPECT_NEAR(loads[0] / (loads[0] + loads[1]), 0.75, 0.05);
+}
+
+TEST(EndToEnd, FullPipelineAllDatasetsAllSchemes) {
+  for (const char* ds : {"DTR", "LMBE", "RA"}) {
+    for (const char* scheme :
+         {"d2tree", "static-subtree", "dynamic-subtree", "drop", "anglecut"}) {
+      ExperimentOptions opt;
+      opt.adjustment_rounds = 2;
+      opt.sim.max_ops = 4'000;
+      const SchemeRunResult r = RunSchemeExperiment(scheme, Dataset(ds), 6, opt);
+      EXPECT_GT(r.throughput, 1000.0) << ds << "/" << scheme;
+      EXPECT_GT(r.balance, 0.0) << ds << "/" << scheme;
+      EXPECT_GT(r.locality, 0.0) << ds << "/" << scheme;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace d2tree

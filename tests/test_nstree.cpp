@@ -1,0 +1,267 @@
+// Unit tests for the namespace tree substrate.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "d2tree/common/rng.h"
+#include "d2tree/nstree/builder.h"
+#include "d2tree/nstree/tree.h"
+
+namespace d2tree {
+namespace {
+
+/// The Fig. 2 namespace: /root {home {a{c.txt}, b{g.pdf h.jpg}}, var{d e},
+/// usr{f{j.doc}}} — handy across tests.
+NamespaceTree Fig2Tree() {
+  NamespaceTree t;
+  t.GetOrCreatePath("/home/a/c.txt", NodeType::kFile);
+  t.GetOrCreatePath("/home/b/g.pdf", NodeType::kFile);
+  t.GetOrCreatePath("/home/b/h.jpg", NodeType::kFile);
+  t.GetOrCreatePath("/var/d", NodeType::kDirectory);
+  t.GetOrCreatePath("/var/e", NodeType::kDirectory);
+  t.GetOrCreatePath("/usr/f/j.doc", NodeType::kFile);
+  return t;
+}
+
+TEST(NamespaceTree, StartsWithRootOnly) {
+  NamespaceTree t;
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.root(), 0u);
+  EXPECT_EQ(t.PathOf(t.root()), "/");
+  EXPECT_TRUE(t.node(t.root()).is_directory());
+}
+
+TEST(NamespaceTree, AddAndFindChild) {
+  NamespaceTree t;
+  const NodeId home = t.AddChild(t.root(), "home", NodeType::kDirectory);
+  EXPECT_EQ(t.FindChild(t.root(), "home"), home);
+  EXPECT_EQ(t.FindChild(t.root(), "nope"), kInvalidNode);
+  EXPECT_EQ(t.node(home).depth, 1u);
+  EXPECT_EQ(t.node(home).parent, t.root());
+}
+
+TEST(NamespaceTree, GetOrCreatePathCreatesIntermediates) {
+  NamespaceTree t;
+  const NodeId leaf = t.GetOrCreatePath("/a/b/c.txt", NodeType::kFile);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_FALSE(t.node(leaf).is_directory());
+  EXPECT_TRUE(t.node(t.Resolve("/a/b")).is_directory());
+  // Second call is idempotent.
+  EXPECT_EQ(t.GetOrCreatePath("/a/b/c.txt", NodeType::kFile), leaf);
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(NamespaceTree, ResolveAndPathOfRoundTrip) {
+  NamespaceTree t = Fig2Tree();
+  for (const char* p : {"/home", "/home/b/h.jpg", "/usr/f/j.doc", "/var/e"}) {
+    const NodeId id = t.Resolve(p);
+    ASSERT_NE(id, kInvalidNode) << p;
+    EXPECT_EQ(t.PathOf(id), p);
+  }
+  EXPECT_EQ(t.Resolve("/home/zzz"), kInvalidNode);
+}
+
+TEST(NamespaceTree, AncestorsRootFirst) {
+  NamespaceTree t = Fig2Tree();
+  const NodeId h = t.Resolve("/home/b/h.jpg");
+  const auto anc = t.AncestorsOf(h);
+  ASSERT_EQ(anc.size(), 3u);
+  EXPECT_EQ(anc[0], t.root());
+  EXPECT_EQ(t.PathOf(anc[1]), "/home");
+  EXPECT_EQ(t.PathOf(anc[2]), "/home/b");
+  EXPECT_TRUE(t.AncestorsOf(t.root()).empty());
+}
+
+TEST(NamespaceTree, ChildIdsAlwaysGreaterThanParent) {
+  Rng rng(3);
+  SyntheticTreeConfig cfg;
+  cfg.node_count = 2000;
+  cfg.max_depth = 10;
+  const NamespaceTree t = BuildSyntheticTree(cfg, rng);
+  for (NodeId id = 1; id < t.size(); ++id)
+    EXPECT_LT(t.node(id).parent, id);
+}
+
+TEST(NamespaceTree, PopularityAggregation) {
+  NamespaceTree t = Fig2Tree();
+  // 3 accesses to h.jpg, 1 to /home, 2 to c.txt.
+  const NodeId h = t.Resolve("/home/b/h.jpg");
+  const NodeId home = t.Resolve("/home");
+  const NodeId c = t.Resolve("/home/a/c.txt");
+  t.AddAccess(h, 3);
+  t.AddAccess(home, 1);
+  t.AddAccess(c, 2);
+  t.RecomputeSubtreePopularity();
+  EXPECT_DOUBLE_EQ(t.node(h).subtree_popularity, 3);
+  EXPECT_DOUBLE_EQ(t.node(t.Resolve("/home/b")).subtree_popularity, 3);
+  EXPECT_DOUBLE_EQ(t.node(home).subtree_popularity, 6);  // 3 + 2 + own 1
+  EXPECT_DOUBLE_EQ(t.node(t.root()).subtree_popularity, 6);
+  EXPECT_DOUBLE_EQ(t.TotalIndividualPopularity(), 6);
+}
+
+TEST(NamespaceTree, ParentPopularityNeverBelowChild) {
+  Rng rng(5);
+  SyntheticTreeConfig cfg;
+  cfg.node_count = 5000;
+  const NamespaceTree base = BuildSyntheticTree(cfg, rng);
+  NamespaceTree t = base;
+  for (int i = 0; i < 20000; ++i)
+    t.AddAccess(static_cast<NodeId>(rng.NextBounded(t.size())));
+  t.RecomputeSubtreePopularity();
+  for (NodeId id = 1; id < t.size(); ++id) {
+    EXPECT_GE(t.node(t.node(id).parent).subtree_popularity,
+              t.node(id).subtree_popularity);
+  }
+}
+
+TEST(NamespaceTree, ResetPopularityClears) {
+  NamespaceTree t = Fig2Tree();
+  t.AddAccess(t.Resolve("/home"), 5);
+  t.RecomputeSubtreePopularity();
+  t.ResetPopularity();
+  EXPECT_DOUBLE_EQ(t.TotalIndividualPopularity(), 0.0);
+  EXPECT_DOUBLE_EQ(t.node(t.root()).subtree_popularity, 0.0);
+}
+
+TEST(NamespaceTree, SetIndividualPopularityValidatesSize) {
+  NamespaceTree t = Fig2Tree();
+  EXPECT_THROW(t.SetIndividualPopularity({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(NamespaceTree, SubtreeSizeAndVisit) {
+  NamespaceTree t = Fig2Tree();
+  EXPECT_EQ(t.SubtreeSize(t.root()), t.size());
+  EXPECT_EQ(t.SubtreeSize(t.Resolve("/home")), 6u);  // home,a,c,b,g,h
+  EXPECT_EQ(t.SubtreeSize(t.Resolve("/home/b/h.jpg")), 1u);
+}
+
+TEST(NamespaceTree, PreorderParentsBeforeChildren) {
+  NamespaceTree t = Fig2Tree();
+  const auto order = t.PreorderNodes();
+  ASSERT_EQ(order.size(), t.size());
+  std::vector<std::size_t> pos(t.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId id = 1; id < t.size(); ++id)
+    EXPECT_LT(pos[t.node(id).parent], pos[id]);
+}
+
+TEST(NamespaceTree, MaxDepth) {
+  NamespaceTree t = Fig2Tree();
+  EXPECT_EQ(t.MaxDepth(), 3u);  // /home/b/h.jpg
+}
+
+TEST(NamespaceTree, SaveLoadRoundTrip) {
+  NamespaceTree t = Fig2Tree();
+  t.AddAccess(t.Resolve("/home/b/h.jpg"), 7);
+  t.SetUpdateCost(t.Resolve("/home"), 2.5);
+  t.RecomputeSubtreePopularity();
+
+  std::stringstream ss;
+  t.Save(ss);
+  const NamespaceTree u = NamespaceTree::Load(ss);
+  ASSERT_EQ(u.size(), t.size());
+  for (NodeId id = 0; id < t.size(); ++id) {
+    const NodeId uid = u.Resolve(t.PathOf(id));
+    ASSERT_NE(uid, kInvalidNode);
+    EXPECT_EQ(u.node(uid).type, t.node(id).type);
+    EXPECT_DOUBLE_EQ(u.node(uid).individual_popularity,
+                     t.node(id).individual_popularity);
+    EXPECT_DOUBLE_EQ(u.node(uid).update_cost, t.node(id).update_cost);
+  }
+  EXPECT_DOUBLE_EQ(u.node(u.root()).subtree_popularity,
+                   t.node(t.root()).subtree_popularity);
+}
+
+TEST(NamespaceTree, RenameKeepsStructureChangesPaths) {
+  NamespaceTree t = Fig2Tree();
+  const NodeId b = t.Resolve("/home/b");
+  const NodeId h = t.Resolve("/home/b/h.jpg");
+  t.Rename(b, "bb");
+  EXPECT_EQ(t.Resolve("/home/b"), kInvalidNode);
+  EXPECT_EQ(t.Resolve("/home/bb"), b);
+  EXPECT_EQ(t.Resolve("/home/bb/h.jpg"), h);  // descendants follow
+  EXPECT_EQ(t.PathOf(h), "/home/bb/h.jpg");
+  EXPECT_EQ(t.node(h).parent, b);             // structure untouched
+  EXPECT_EQ(t.node(b).children.size(), 2u);
+}
+
+TEST(NamespaceTree, RenameThenAddOldName) {
+  NamespaceTree t = Fig2Tree();
+  const NodeId b = t.Resolve("/home/b");
+  t.Rename(b, "bb");
+  // The old name is free again.
+  const NodeId fresh =
+      t.AddChild(t.Resolve("/home"), "b", NodeType::kDirectory);
+  EXPECT_EQ(t.Resolve("/home/b"), fresh);
+  EXPECT_EQ(t.Resolve("/home/bb"), b);
+}
+
+TEST(NamespaceTree, LoadRejectsGarbage) {
+  std::stringstream ss("not a snapshot");
+  EXPECT_THROW(NamespaceTree::Load(ss), std::runtime_error);
+}
+
+TEST(Builder, HitsNodeCountAndMaxDepth) {
+  Rng rng(11);
+  SyntheticTreeConfig cfg;
+  cfg.node_count = 3000;
+  cfg.max_depth = 17;
+  const NamespaceTree t = BuildSyntheticTree(cfg, rng);
+  EXPECT_EQ(t.size(), 3000u);
+  EXPECT_EQ(t.MaxDepth(), 17u);
+}
+
+TEST(Builder, RespectsMaxDepthBound) {
+  Rng rng(13);
+  SyntheticTreeConfig cfg;
+  cfg.node_count = 4000;
+  cfg.max_depth = 5;
+  cfg.depth_bias = 0.9;
+  const NamespaceTree t = BuildSyntheticTree(cfg, rng);
+  for (NodeId id = 0; id < t.size(); ++id)
+    EXPECT_LE(t.node(id).depth, 5u);
+}
+
+TEST(Builder, DirRatioApproximatelyHonored) {
+  Rng rng(17);
+  SyntheticTreeConfig cfg;
+  cfg.node_count = 20000;
+  cfg.max_depth = 12;
+  cfg.dir_ratio = 0.3;
+  const NamespaceTree t = BuildSyntheticTree(cfg, rng);
+  std::size_t dirs = 0;
+  for (NodeId id = 0; id < t.size(); ++id)
+    dirs += t.node(id).is_directory();
+  const double ratio = static_cast<double>(dirs) / static_cast<double>(t.size());
+  EXPECT_NEAR(ratio, 0.3, 0.05);
+}
+
+TEST(Builder, DeterministicInSeed) {
+  SyntheticTreeConfig cfg;
+  cfg.node_count = 500;
+  Rng r1(42), r2(42);
+  const NamespaceTree a = BuildSyntheticTree(cfg, r1);
+  const NamespaceTree b = BuildSyntheticTree(cfg, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a.PathOf(id), b.PathOf(id));
+  }
+}
+
+TEST(Builder, DepthBiasMakesDeeperTrees) {
+  SyntheticTreeConfig shallow, deep;
+  shallow.node_count = deep.node_count = 10000;
+  shallow.max_depth = deep.max_depth = 40;
+  shallow.depth_bias = 0.0;
+  deep.depth_bias = 0.8;
+  Rng r1(7), r2(7);
+  const NamespaceTree a = BuildSyntheticTree(shallow, r1);
+  const NamespaceTree b = BuildSyntheticTree(deep, r2);
+  double mean_a = 0, mean_b = 0;
+  for (NodeId id = 0; id < a.size(); ++id) mean_a += a.node(id).depth;
+  for (NodeId id = 0; id < b.size(); ++id) mean_b += b.node(id).depth;
+  EXPECT_GT(mean_b, mean_a);
+}
+
+}  // namespace
+}  // namespace d2tree

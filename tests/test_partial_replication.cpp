@@ -1,0 +1,164 @@
+// Tests for the Sec. VII extension: replication-degree threshold on the
+// global layer (PartialGlobalLayer + PartialD2TreeRouter).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "d2tree/core/d2tree.h"
+#include "d2tree/core/partial_replication.h"
+#include "d2tree/metrics/metrics.h"
+#include "d2tree/sim/cluster_sim.h"
+#include "d2tree/sim/route.h"
+#include "d2tree/trace/profiles.h"
+
+namespace d2tree {
+namespace {
+
+struct Fixture {
+  Workload w = GenerateWorkload(RaProfile(0.03));
+  D2TreeScheme scheme;
+  Assignment assignment;
+  static constexpr std::size_t kMds = 8;
+
+  Fixture() {
+    assignment = scheme.Partition(w.tree, MdsCluster::Homogeneous(kMds));
+  }
+};
+
+TEST(PartialGlobalLayer, ReplicaSetsHaveExactDegree) {
+  Fixture f;
+  for (std::size_t degree : {1ul, 3ul, 8ul}) {
+    const PartialGlobalLayer partial(f.scheme.layers(), Fixture::kMds, degree);
+    EXPECT_EQ(partial.degree(), degree);
+    for (NodeId id : f.scheme.split().global_layer) {
+      const auto& reps = partial.ReplicasOf(id);
+      EXPECT_EQ(reps.size(), degree);
+      std::set<MdsId> unique(reps.begin(), reps.end());
+      EXPECT_EQ(unique.size(), degree) << "duplicate replicas for " << id;
+      for (MdsId r : reps) {
+        EXPECT_GE(r, 0);
+        EXPECT_LT(r, static_cast<MdsId>(Fixture::kMds));
+        EXPECT_TRUE(partial.Holds(id, r));
+      }
+    }
+  }
+}
+
+TEST(PartialGlobalLayer, DegreeClampedToClusterSize) {
+  Fixture f;
+  const PartialGlobalLayer partial(f.scheme.layers(), Fixture::kMds, 100);
+  EXPECT_EQ(partial.degree(), Fixture::kMds);
+  const PartialGlobalLayer zero(f.scheme.layers(), Fixture::kMds, 0);
+  EXPECT_EQ(zero.degree(), 1u);
+}
+
+TEST(PartialGlobalLayer, ReplicaSetsSpreadAcrossCluster) {
+  Fixture f;
+  const PartialGlobalLayer partial(f.scheme.layers(), Fixture::kMds, 2);
+  std::vector<std::size_t> holds(Fixture::kMds, 0);
+  for (NodeId id : f.scheme.split().global_layer)
+    for (MdsId r : partial.ReplicasOf(id)) ++holds[r];
+  const double mean =
+      2.0 * static_cast<double>(f.scheme.split().global_layer.size()) /
+      static_cast<double>(Fixture::kMds);
+  for (std::size_t k = 0; k < Fixture::kMds; ++k)
+    EXPECT_NEAR(holds[k], mean, mean * 0.5) << "mds " << k;
+}
+
+TEST(PartialGlobalLayer, StableUnderClusterGrowth) {
+  // Rendezvous hashing: growing the cluster must not reshuffle the
+  // replicas that survive (an old replica stays a replica unless a new
+  // server out-scores it).
+  Fixture f;
+  const PartialGlobalLayer small(f.scheme.layers(), 8, 3);
+  const PartialGlobalLayer big(f.scheme.layers(), 12, 3);
+  std::size_t kept = 0, total = 0;
+  for (NodeId id : f.scheme.split().global_layer) {
+    const auto& a = small.ReplicasOf(id);
+    for (MdsId r : a) {
+      ++total;
+      kept += big.Holds(id, r);
+    }
+  }
+  // Expect most replicas to survive (in expectation 1 - degree/12-ish churn).
+  EXPECT_GT(static_cast<double>(kept) / static_cast<double>(total), 0.6);
+}
+
+TEST(PartialGlobalLayer, UpdateCostScalesWithDegree) {
+  Fixture f;
+  const PartialGlobalLayer d2(f.scheme.layers(), Fixture::kMds, 2);
+  const PartialGlobalLayer d8(f.scheme.layers(), Fixture::kMds, 8);
+  EXPECT_DOUBLE_EQ(d8.UpdateCost(f.w.tree), 4.0 * d2.UpdateCost(f.w.tree));
+  // Full degree matches Def. 4 on the replicated assignment.
+  EXPECT_DOUBLE_EQ(d8.UpdateCost(f.w.tree),
+                   ComputeUpdateCost(f.w.tree, f.assignment));
+}
+
+TEST(PartialD2TreeRouterTest, GlQueriesStayInsideReplicaSet) {
+  Fixture f;
+  const PartialGlobalLayer partial(f.scheme.layers(), Fixture::kMds, 2);
+  const PartialD2TreeRouter router(f.w.tree, f.scheme.local_index(), partial);
+  Rng rng(5);
+  for (std::size_t i = 0; i < 3000; ++i) {
+    const TraceRecord& rec = f.w.trace.records()[i];
+    const RoutePlan plan = router.PlanRoute(rec, rng);
+    if (!f.assignment.IsReplicated(rec.node)) continue;
+    ASSERT_EQ(plan.visits.size(), 1u);
+    EXPECT_TRUE(partial.Holds(rec.node, plan.visits[0]))
+        << f.w.tree.PathOf(rec.node);
+    if (rec.op == OpType::kUpdate) {
+      EXPECT_TRUE(plan.global_update);
+      EXPECT_EQ(plan.broadcast_servers.size(), 2u);
+    }
+  }
+}
+
+TEST(PartialD2TreeRouterTest, LocalLayerRoutingUnchanged) {
+  Fixture f;
+  const PartialGlobalLayer partial(f.scheme.layers(), Fixture::kMds, 2);
+  const PartialD2TreeRouter router(f.w.tree, f.scheme.local_index(), partial);
+  Rng rng(5);
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const TraceRecord& rec = f.w.trace.records()[i];
+    if (f.assignment.IsReplicated(rec.node)) continue;
+    const RoutePlan plan = router.PlanRoute(rec, rng);
+    EXPECT_EQ(plan.visits.back(), f.assignment.OwnerOf(rec.node));
+    EXPECT_FALSE(plan.global_update);
+  }
+}
+
+TEST(PartialReplicationSim, LowerDegreeReducesLockWaitOnUpdateHeavyLoad) {
+  Fixture f;  // RA: 16% updates
+  SimConfig sim;
+  sim.max_ops = 10'000;
+  const PartialGlobalLayer d1(f.scheme.layers(), Fixture::kMds, 1);
+  const PartialGlobalLayer d8(f.scheme.layers(), Fixture::kMds, 8);
+  const PartialD2TreeRouter r1(f.w.tree, f.scheme.local_index(), d1);
+  const PartialD2TreeRouter r8(f.w.tree, f.scheme.local_index(), d8);
+  const SimResult s1 = RunClusterSim(f.w.trace, r1, Fixture::kMds, sim);
+  const SimResult s8 = RunClusterSim(f.w.trace, r8, Fixture::kMds, sim);
+  EXPECT_LT(s1.lock_wait_total, s8.lock_wait_total);
+}
+
+class DegreeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DegreeSweep, SimulationCompletesAndBalancesQueries) {
+  Fixture f;
+  const std::size_t degree = GetParam();
+  const PartialGlobalLayer partial(f.scheme.layers(), Fixture::kMds, degree);
+  SimConfig sim;
+  sim.max_ops = 8'000;
+  const PartialD2TreeRouter router(f.w.tree, f.scheme.local_index(), partial);
+  const SimResult r = RunClusterSim(f.w.trace, router, Fixture::kMds, sim);
+  EXPECT_EQ(r.completed_ops, sim.max_ops);
+  EXPECT_GT(r.throughput, 0.0);
+  std::size_t active = 0;
+  for (auto ops : r.server_ops) active += ops > 0;
+  EXPECT_GE(active, std::min<std::size_t>(Fixture::kMds, degree));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, DegreeSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace d2tree
