@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_balance.dir/fig7_balance.cpp.o"
+  "CMakeFiles/fig7_balance.dir/fig7_balance.cpp.o.d"
+  "fig7_balance"
+  "fig7_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_rebalance.dir/dynamic_rebalance.cpp.o"
+  "CMakeFiles/example_dynamic_rebalance.dir/dynamic_rebalance.cpp.o.d"
+  "example_dynamic_rebalance"
+  "example_dynamic_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

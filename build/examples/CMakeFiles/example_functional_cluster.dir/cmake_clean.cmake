@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_functional_cluster.dir/functional_cluster.cpp.o"
+  "CMakeFiles/example_functional_cluster.dir/functional_cluster.cpp.o.d"
+  "example_functional_cluster"
+  "example_functional_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_functional_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scheme_comparison.dir/scheme_comparison.cpp.o"
+  "CMakeFiles/example_scheme_comparison.dir/scheme_comparison.cpp.o.d"
+  "example_scheme_comparison"
+  "example_scheme_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scheme_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

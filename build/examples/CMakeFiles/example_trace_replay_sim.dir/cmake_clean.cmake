@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_replay_sim.dir/trace_replay_sim.cpp.o"
+  "CMakeFiles/example_trace_replay_sim.dir/trace_replay_sim.cpp.o.d"
+  "example_trace_replay_sim"
+  "example_trace_replay_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_replay_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/d2tree/baselines/anglecut.cpp" "src/CMakeFiles/d2tree.dir/d2tree/baselines/anglecut.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/baselines/anglecut.cpp.o.d"
+  "/root/repo/src/d2tree/baselines/drop.cpp" "src/CMakeFiles/d2tree.dir/d2tree/baselines/drop.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/baselines/drop.cpp.o.d"
+  "/root/repo/src/d2tree/baselines/dynamic_subtree.cpp" "src/CMakeFiles/d2tree.dir/d2tree/baselines/dynamic_subtree.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/baselines/dynamic_subtree.cpp.o.d"
+  "/root/repo/src/d2tree/baselines/hash_mapping.cpp" "src/CMakeFiles/d2tree.dir/d2tree/baselines/hash_mapping.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/baselines/hash_mapping.cpp.o.d"
+  "/root/repo/src/d2tree/baselines/registry.cpp" "src/CMakeFiles/d2tree.dir/d2tree/baselines/registry.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/baselines/registry.cpp.o.d"
+  "/root/repo/src/d2tree/baselines/static_subtree.cpp" "src/CMakeFiles/d2tree.dir/d2tree/baselines/static_subtree.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/baselines/static_subtree.cpp.o.d"
+  "/root/repo/src/d2tree/common/dkw.cpp" "src/CMakeFiles/d2tree.dir/d2tree/common/dkw.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/common/dkw.cpp.o.d"
+  "/root/repo/src/d2tree/common/histogram.cpp" "src/CMakeFiles/d2tree.dir/d2tree/common/histogram.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/common/histogram.cpp.o.d"
+  "/root/repo/src/d2tree/common/path_util.cpp" "src/CMakeFiles/d2tree.dir/d2tree/common/path_util.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/common/path_util.cpp.o.d"
+  "/root/repo/src/d2tree/common/random_walk.cpp" "src/CMakeFiles/d2tree.dir/d2tree/common/random_walk.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/common/random_walk.cpp.o.d"
+  "/root/repo/src/d2tree/common/rng.cpp" "src/CMakeFiles/d2tree.dir/d2tree/common/rng.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/common/rng.cpp.o.d"
+  "/root/repo/src/d2tree/common/stats.cpp" "src/CMakeFiles/d2tree.dir/d2tree/common/stats.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/common/stats.cpp.o.d"
+  "/root/repo/src/d2tree/common/zipf.cpp" "src/CMakeFiles/d2tree.dir/d2tree/common/zipf.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/common/zipf.cpp.o.d"
+  "/root/repo/src/d2tree/core/allocator.cpp" "src/CMakeFiles/d2tree.dir/d2tree/core/allocator.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/core/allocator.cpp.o.d"
+  "/root/repo/src/d2tree/core/d2tree.cpp" "src/CMakeFiles/d2tree.dir/d2tree/core/d2tree.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/core/d2tree.cpp.o.d"
+  "/root/repo/src/d2tree/core/global_layer.cpp" "src/CMakeFiles/d2tree.dir/d2tree/core/global_layer.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/core/global_layer.cpp.o.d"
+  "/root/repo/src/d2tree/core/layers.cpp" "src/CMakeFiles/d2tree.dir/d2tree/core/layers.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/core/layers.cpp.o.d"
+  "/root/repo/src/d2tree/core/local_index.cpp" "src/CMakeFiles/d2tree.dir/d2tree/core/local_index.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/core/local_index.cpp.o.d"
+  "/root/repo/src/d2tree/core/monitor.cpp" "src/CMakeFiles/d2tree.dir/d2tree/core/monitor.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/core/monitor.cpp.o.d"
+  "/root/repo/src/d2tree/core/partial_replication.cpp" "src/CMakeFiles/d2tree.dir/d2tree/core/partial_replication.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/core/partial_replication.cpp.o.d"
+  "/root/repo/src/d2tree/core/splitter.cpp" "src/CMakeFiles/d2tree.dir/d2tree/core/splitter.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/core/splitter.cpp.o.d"
+  "/root/repo/src/d2tree/mds/cluster.cpp" "src/CMakeFiles/d2tree.dir/d2tree/mds/cluster.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/mds/cluster.cpp.o.d"
+  "/root/repo/src/d2tree/mds/server.cpp" "src/CMakeFiles/d2tree.dir/d2tree/mds/server.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/mds/server.cpp.o.d"
+  "/root/repo/src/d2tree/mds/store.cpp" "src/CMakeFiles/d2tree.dir/d2tree/mds/store.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/mds/store.cpp.o.d"
+  "/root/repo/src/d2tree/metrics/metrics.cpp" "src/CMakeFiles/d2tree.dir/d2tree/metrics/metrics.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/metrics/metrics.cpp.o.d"
+  "/root/repo/src/d2tree/nstree/builder.cpp" "src/CMakeFiles/d2tree.dir/d2tree/nstree/builder.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/nstree/builder.cpp.o.d"
+  "/root/repo/src/d2tree/nstree/tree.cpp" "src/CMakeFiles/d2tree.dir/d2tree/nstree/tree.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/nstree/tree.cpp.o.d"
+  "/root/repo/src/d2tree/partition/partition.cpp" "src/CMakeFiles/d2tree.dir/d2tree/partition/partition.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/partition/partition.cpp.o.d"
+  "/root/repo/src/d2tree/sim/cluster_sim.cpp" "src/CMakeFiles/d2tree.dir/d2tree/sim/cluster_sim.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/sim/cluster_sim.cpp.o.d"
+  "/root/repo/src/d2tree/sim/experiment.cpp" "src/CMakeFiles/d2tree.dir/d2tree/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/sim/experiment.cpp.o.d"
+  "/root/repo/src/d2tree/sim/route.cpp" "src/CMakeFiles/d2tree.dir/d2tree/sim/route.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/sim/route.cpp.o.d"
+  "/root/repo/src/d2tree/trace/profiles.cpp" "src/CMakeFiles/d2tree.dir/d2tree/trace/profiles.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/trace/profiles.cpp.o.d"
+  "/root/repo/src/d2tree/trace/trace.cpp" "src/CMakeFiles/d2tree.dir/d2tree/trace/trace.cpp.o" "gcc" "src/CMakeFiles/d2tree.dir/d2tree/trace/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

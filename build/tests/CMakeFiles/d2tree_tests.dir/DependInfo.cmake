@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/d2tree_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/d2tree_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/d2tree_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/d2tree_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_core_alloc.cpp" "tests/CMakeFiles/d2tree_tests.dir/test_core_alloc.cpp.o" "gcc" "tests/CMakeFiles/d2tree_tests.dir/test_core_alloc.cpp.o.d"
+  "/root/repo/tests/test_core_scheme.cpp" "tests/CMakeFiles/d2tree_tests.dir/test_core_scheme.cpp.o" "gcc" "tests/CMakeFiles/d2tree_tests.dir/test_core_scheme.cpp.o.d"
+  "/root/repo/tests/test_core_split.cpp" "tests/CMakeFiles/d2tree_tests.dir/test_core_split.cpp.o" "gcc" "tests/CMakeFiles/d2tree_tests.dir/test_core_split.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/d2tree_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/d2tree_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/d2tree_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/d2tree_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_mds_cluster.cpp" "tests/CMakeFiles/d2tree_tests.dir/test_mds_cluster.cpp.o" "gcc" "tests/CMakeFiles/d2tree_tests.dir/test_mds_cluster.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/d2tree_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/d2tree_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_nstree.cpp" "tests/CMakeFiles/d2tree_tests.dir/test_nstree.cpp.o" "gcc" "tests/CMakeFiles/d2tree_tests.dir/test_nstree.cpp.o.d"
+  "/root/repo/tests/test_partial_replication.cpp" "tests/CMakeFiles/d2tree_tests.dir/test_partial_replication.cpp.o" "gcc" "tests/CMakeFiles/d2tree_tests.dir/test_partial_replication.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/d2tree_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/d2tree_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/d2tree_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/d2tree_tests.dir/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/d2tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

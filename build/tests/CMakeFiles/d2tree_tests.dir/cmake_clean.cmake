@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2tree_tests.dir/test_baselines.cpp.o"
+  "CMakeFiles/d2tree_tests.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/d2tree_tests.dir/test_common.cpp.o"
+  "CMakeFiles/d2tree_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/d2tree_tests.dir/test_core_alloc.cpp.o"
+  "CMakeFiles/d2tree_tests.dir/test_core_alloc.cpp.o.d"
+  "CMakeFiles/d2tree_tests.dir/test_core_scheme.cpp.o"
+  "CMakeFiles/d2tree_tests.dir/test_core_scheme.cpp.o.d"
+  "CMakeFiles/d2tree_tests.dir/test_core_split.cpp.o"
+  "CMakeFiles/d2tree_tests.dir/test_core_split.cpp.o.d"
+  "CMakeFiles/d2tree_tests.dir/test_edge_cases.cpp.o"
+  "CMakeFiles/d2tree_tests.dir/test_edge_cases.cpp.o.d"
+  "CMakeFiles/d2tree_tests.dir/test_integration.cpp.o"
+  "CMakeFiles/d2tree_tests.dir/test_integration.cpp.o.d"
+  "CMakeFiles/d2tree_tests.dir/test_mds_cluster.cpp.o"
+  "CMakeFiles/d2tree_tests.dir/test_mds_cluster.cpp.o.d"
+  "CMakeFiles/d2tree_tests.dir/test_metrics.cpp.o"
+  "CMakeFiles/d2tree_tests.dir/test_metrics.cpp.o.d"
+  "CMakeFiles/d2tree_tests.dir/test_nstree.cpp.o"
+  "CMakeFiles/d2tree_tests.dir/test_nstree.cpp.o.d"
+  "CMakeFiles/d2tree_tests.dir/test_partial_replication.cpp.o"
+  "CMakeFiles/d2tree_tests.dir/test_partial_replication.cpp.o.d"
+  "CMakeFiles/d2tree_tests.dir/test_sim.cpp.o"
+  "CMakeFiles/d2tree_tests.dir/test_sim.cpp.o.d"
+  "CMakeFiles/d2tree_tests.dir/test_trace.cpp.o"
+  "CMakeFiles/d2tree_tests.dir/test_trace.cpp.o.d"
+  "d2tree_tests"
+  "d2tree_tests.pdb"
+  "d2tree_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2tree_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
