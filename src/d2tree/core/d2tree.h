@@ -35,6 +35,10 @@ struct D2TreeConfig {
   std::size_t resplit_period = 0;
 };
 
+/// Not internally synchronized: Partition/Rebalance mutate the split,
+/// owner and index state that the read accessors expose, so concurrent
+/// users must serialize externally (FunctionalCluster holds its placement
+/// lock exclusively across Rebalance and shared across index reads).
 class D2TreeScheme : public Partitioner {
  public:
   explicit D2TreeScheme(D2TreeConfig config = {});

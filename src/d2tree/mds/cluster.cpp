@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace d2tree {
 
@@ -33,7 +34,7 @@ InodeRecord FunctionalCluster::MakeRecord(NodeId id) const {
 }
 
 void FunctionalCluster::Materialize() {
-  gl_master_version_ = 1;
+  gl_master_version_.store(1, std::memory_order_release);
   for (NodeId id = 0; id < tree_.size(); ++id) {
     const InodeRecord record = MakeRecord(id);
     const MdsId owner = assignment_.OwnerOf(id);
@@ -43,7 +44,7 @@ void FunctionalCluster::Materialize() {
       servers_[owner]->local().Put(record);
     }
   }
-  for (auto& server : servers_) server->set_gl_version(gl_master_version_);
+  for (auto& server : servers_) server->set_gl_version(1);
 }
 
 FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
@@ -73,18 +74,17 @@ FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
 FunctionalCluster::ClientResult FunctionalCluster::Stat(
     const std::string& path) {
   NodeId target;
-  MdsId at;
+  MdsId fallback;
   {
     std::lock_guard lock(client_mu_);
     target = tree_.Resolve(path);
     if (target == kInvalidNode) return {};
     tree_.AddAccess(target);
-    const auto owner = scheme_.local_index().Route(tree_, target);
-    at = owner.has_value()
-             ? *owner
-             : static_cast<MdsId>(rng_.NextBounded(servers_.size()));
+    fallback = static_cast<MdsId>(rng_.NextBounded(servers_.size()));
   }
-  return StatAt(target, at);
+  std::shared_lock topo(topo_mu_);
+  const auto owner = scheme_.local_index().Route(tree_, target);
+  return StatAt(target, owner.value_or(fallback));
 }
 
 FunctionalCluster::ClientResult FunctionalCluster::StatVia(
@@ -96,6 +96,7 @@ FunctionalCluster::ClientResult FunctionalCluster::StatVia(
     if (target == kInvalidNode) return {};
     tree_.AddAccess(target);
   }
+  std::shared_lock topo(topo_mu_);
   return StatAt(target, via);
 }
 
@@ -112,15 +113,26 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
     ancestors = tree_.AncestorsOf(target);
   }
 
+  std::shared_lock topo(topo_mu_);
   if (assignment_.IsReplicated(target)) {
     // Global-layer update: lock, bump the master version, write every
-    // replica before acking (Sec. IV-A3).
+    // replica before acking (Sec. IV-A3). The wait for the lock is the
+    // live-cluster contention signal the harness reports.
+    const auto t0 = std::chrono::steady_clock::now();
     std::lock_guard lock(gl_mu_);
-    ++gl_master_version_;
+    gl_lock_wait_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count(),
+        std::memory_order_relaxed);
+    const std::uint64_t version =
+        gl_master_version_.load(std::memory_order_relaxed) + 1;
+    gl_master_version_.store(version, std::memory_order_release);
     for (auto& server : servers_) {
       server->global_replica().Mutate(target, mtime);
-      server->set_gl_version(gl_master_version_);
+      server->set_gl_version(version);
     }
+    ++gl_updates_;
     out.status = MdsStatus::kOk;
     out.served_by = 0;  // any replica can answer; pick deterministically
     out.record = *servers_[out.served_by]->global_replica().Get(target);
@@ -136,6 +148,11 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
 }
 
 std::size_t FunctionalCluster::RunAdjustmentRound() {
+  // Freeze popularity charging, then enter an exclusive placement epoch:
+  // no client routes or touches a store while records are in flight
+  // between servers (lock order: client_mu_ → topo_mu_).
+  std::lock_guard client(client_mu_);
+  std::unique_lock topo(topo_mu_);
   tree_.RecomputeSubtreePopularity();
   const auto owners_before = scheme_.subtree_owners();
   const RebalanceResult plan =
@@ -158,10 +175,15 @@ std::size_t FunctionalCluster::RunAdjustmentRound() {
     servers_[to]->local().InsertAll(records);
   }
   assignment_ = plan.assignment;
+  adjustment_rounds_.fetch_add(1, std::memory_order_relaxed);
   return moved_records;
 }
 
 bool FunctionalCluster::CheckConsistency(std::string* error) const {
+  // Shared placement lock: no migration in flight. The GL lock quiesces
+  // writers so no replica is observed mid-broadcast.
+  std::shared_lock topo(topo_mu_);
+  std::lock_guard gl(gl_mu_);
   const auto fail = [&](std::string msg) {
     if (error != nullptr) *error = std::move(msg);
     return false;
@@ -192,8 +214,9 @@ bool FunctionalCluster::CheckConsistency(std::string* error) const {
     }
   }
   // Replica versions.
+  const std::uint64_t master = gl_master_version_.load();
   for (const auto& server : servers_) {
-    if (server->gl_version() != gl_master_version_)
+    if (server->gl_version() != master)
       return fail("server " + std::to_string(server->id()) +
                   " GL replica at stale version");
   }

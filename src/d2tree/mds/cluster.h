@@ -7,12 +7,30 @@
 // *physically* executes the Monitor's dynamic-adjustment migrations by
 // moving records between stores. A consistency auditor verifies the
 // cluster invariants after any sequence of operations.
+//
+// Threading contract: any number of client threads may call Stat / StatVia
+// / Update concurrently with each other and with RunAdjustmentRound /
+// CheckConsistency. Three locks coordinate them (always acquired in this
+// order — client_mu_ → topo_mu_ → gl_mu_):
+//   * client_mu_   — client-side bookkeeping: popularity charging on the
+//                    private tree copy and the shared rng.
+//   * topo_mu_     — a shared_mutex "placement epoch" lock. Clients hold it
+//                    shared while routing and touching stores; an
+//                    adjustment round holds it exclusive while it mutates
+//                    the scheme/assignment and physically moves records, so
+//                    readers never observe a record mid-migration.
+//   * gl_mu_       — the ZooKeeper-style global-layer write lock: one
+//                    update's version bump + replica broadcast is atomic
+//                    with respect to other writers and the auditor.
+// gl_master_version_ is additionally atomic so monitoring reads never race
+// with a broadcast in flight.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -58,22 +76,38 @@ class FunctionalCluster {
 
   /// One dynamic-adjustment round: recompute popularity from charged
   /// accesses, plan with the Monitor, and *physically move* the affected
-  /// subtree records between stores. Returns the number of migrated
-  /// records.
+  /// subtree records between stores. Serializes against concurrent clients
+  /// via the placement lock. Returns the number of migrated records.
   std::size_t RunAdjustmentRound();
 
   /// Audits the invariants: every namespace node stored exactly once in
   /// local stores XOR on every server's GL replica; all GL replicas at the
-  /// master version; record/namespace agreement. Returns true when clean;
-  /// otherwise fills `error`.
+  /// master version; record/namespace agreement. Safe to call while client
+  /// threads are active (it quiesces writers for the audit). Returns true
+  /// when clean; otherwise fills `error`.
   bool CheckConsistency(std::string* error) const;
 
-  std::uint64_t gl_master_version() const noexcept { return gl_master_version_; }
+  std::uint64_t gl_master_version() const noexcept {
+    return gl_master_version_.load(std::memory_order_acquire);
+  }
   std::uint64_t total_forwards() const noexcept { return forwards_.load(); }
+
+  /// Number of global-layer updates acknowledged (lock acquisitions).
+  std::uint64_t gl_updates() const noexcept { return gl_updates_.load(); }
+  /// Aggregate wall time update threads spent waiting for the GL lock —
+  /// the live-cluster analogue of SimResult::lock_wait_total.
+  double gl_lock_wait_seconds() const noexcept {
+    return static_cast<double>(gl_lock_wait_ns_.load()) * 1e-9;
+  }
+  /// Completed adjustment rounds (monotone).
+  std::uint64_t adjustment_rounds() const noexcept {
+    return adjustment_rounds_.load();
+  }
 
  private:
   InodeRecord MakeRecord(NodeId id) const;
   void Materialize();
+  /// Access logic against live stores; caller must hold topo_mu_ (shared).
   ClientResult StatAt(NodeId target, MdsId at);
 
   NamespaceTree tree_;  // private copy: accrues access popularity
@@ -82,9 +116,14 @@ class FunctionalCluster {
   Assignment assignment_;
   std::vector<std::unique_ptr<MdsServer>> servers_;
 
-  std::mutex gl_mu_;  // the ZooKeeper-style global-layer write lock
-  std::uint64_t gl_master_version_ = 0;
+  /// Placement epoch lock (see threading contract above).
+  mutable std::shared_mutex topo_mu_;
+  mutable std::mutex gl_mu_;  // the ZooKeeper-style global-layer write lock
+  std::atomic<std::uint64_t> gl_master_version_{0};
   std::atomic<std::uint64_t> forwards_{0};
+  std::atomic<std::uint64_t> gl_updates_{0};
+  std::atomic<std::uint64_t> gl_lock_wait_ns_{0};
+  std::atomic<std::uint64_t> adjustment_rounds_{0};
   /// Guards the client-side bookkeeping (popularity charging, rng) so
   /// multiple client threads can drive the cluster concurrently; server
   /// stores have their own locks.

@@ -1,9 +1,56 @@
 #include "d2tree/metrics/metrics.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 namespace d2tree {
+
+std::size_t LatencyHistogram::BucketOf(double micros) noexcept {
+  if (micros < 1.0) return 0;
+  const int exp = std::ilogb(micros);  // floor(log2) for micros >= 1
+  return std::min<std::size_t>(static_cast<std::size_t>(exp) + 1, kBuckets - 1);
+}
+
+void LatencyHistogram::Record(double micros) noexcept {
+  micros = std::max(micros, 0.0);
+  ++buckets_[BucketOf(micros)];
+  ++count_;
+  sum_ += micros;
+  max_ = std::max(max_, micros);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+double LatencyHistogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::Quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+    const double hi = std::ldexp(1.0, static_cast<int>(i));
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= rank) {
+      const double into =
+          1.0 - (static_cast<double>(seen) - rank) /
+                    static_cast<double>(buckets_[i]);
+      return lo + into * (hi - lo);
+    }
+  }
+  return max_;
+}
 
 std::size_t JumpsFor(const NamespaceTree& tree, const Assignment& assignment,
                      NodeId target) {

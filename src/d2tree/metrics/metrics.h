@@ -1,13 +1,46 @@
-// System-level metrics exactly as the paper defines them (Sec. III).
+// System-level metrics exactly as the paper defines them (Sec. III), plus
+// the latency histogram the live-cluster harnesses report with.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "d2tree/nstree/tree.h"
 #include "d2tree/partition/partition.h"
 
 namespace d2tree {
+
+/// Log2-bucketed latency histogram (microseconds). Single-writer; each
+/// client thread of the concurrent replay harness owns one and the
+/// aggregator merges them after the threads join, so recording needs no
+/// synchronization.
+class LatencyHistogram {
+ public:
+  void Record(double micros) noexcept;
+  void Merge(const LatencyHistogram& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept;
+  double max() const noexcept { return max_; }
+
+  /// Approximate q-quantile (q in [0,1]): locates the bucket holding the
+  /// q-th observation and interpolates linearly inside it. Error is
+  /// bounded by the bucket width (a factor of 2).
+  double Quantile(double q) const noexcept;
+
+ private:
+  // Bucket i holds [2^(i-1), 2^i) µs; bucket 0 holds [0, 1) µs. 48 buckets
+  // cover ~8.9 years, comfortably beyond any observable latency.
+  static constexpr std::size_t kBuckets = 48;
+  static std::size_t BucketOf(double micros) noexcept;
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
 
 /// Number of jumps jp_j (Def. 1) incurred when accessing node `target`:
 /// transitions between consecutive nodes of the root→target path that live

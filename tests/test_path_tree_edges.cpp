@@ -1,0 +1,157 @@
+// Edge cases for the path helpers and the namespace tree that the
+// trace parsers and the functional cluster lean on: root path, trailing
+// slashes, repeated separators, a single-node tree, and a global layer
+// that swallows the entire namespace (no inter nodes, no subtrees).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "d2tree/common/path_util.h"
+#include "d2tree/core/layers.h"
+#include "d2tree/core/splitter.h"
+#include "d2tree/mds/cluster.h"
+#include "d2tree/nstree/tree.h"
+
+namespace d2tree {
+namespace {
+
+TEST(PathEdge, RootForms) {
+  EXPECT_TRUE(SplitPath("/").empty());
+  EXPECT_TRUE(SplitPath("//").empty());
+  EXPECT_TRUE(SplitPath("///").empty());
+  EXPECT_EQ(PathDepth("///"), 0u);
+  EXPECT_EQ(ParentPath("//"), "/");
+  EXPECT_EQ(BaseName("//"), "");
+  EXPECT_TRUE(IsPathPrefix("/", "/"));
+}
+
+TEST(PathEdge, TrailingSlashes) {
+  EXPECT_EQ(JoinPath(SplitPath("/a/b/")), "/a/b");
+  EXPECT_EQ(ParentPath("/a/b/"), "/a");
+  EXPECT_EQ(ParentPath("/a///"), "/");
+  EXPECT_EQ(BaseName("/a/b///"), "b");
+  EXPECT_EQ(PathDepth("/a/b/"), 2u);
+}
+
+TEST(PathEdge, RepeatedSeparators) {
+  const auto parts = SplitPath("//a///b////c");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(JoinPath(parts), "/a/b/c");
+  EXPECT_EQ(PathDepth("//a//b//"), 2u);
+}
+
+TEST(PathEdge, PrefixWithMessySeparatorsIsLiteral) {
+  // IsPathPrefix is a literal canonical-path comparison; callers pass
+  // canonical paths (PathOf output). Document the contract at the edges.
+  EXPECT_TRUE(IsPathPrefix("/a", "/a/b"));
+  EXPECT_FALSE(IsPathPrefix("/a/", "/a/b"));  // non-canonical prefix
+  // A trailing slash on the *path* is tolerated: the component boundary
+  // after the prefix is still a '/'.
+  EXPECT_TRUE(IsPathPrefix("/a/b", "/a/b/"));
+}
+
+TEST(TreeEdge, ResolveNormalizesSeparators) {
+  NamespaceTree t;
+  const NodeId b = t.GetOrCreatePath("/a/b", NodeType::kFile);
+  EXPECT_EQ(t.Resolve("/a/b/"), b);
+  EXPECT_EQ(t.Resolve("//a//b"), b);
+  EXPECT_EQ(t.Resolve("a/b"), b);  // relative form walks from the root
+  EXPECT_EQ(t.Resolve("/"), t.root());
+  EXPECT_EQ(t.Resolve(""), t.root());
+  EXPECT_EQ(t.Resolve("///"), t.root());
+  EXPECT_EQ(t.Resolve("/a/b/c"), kInvalidNode);
+  EXPECT_EQ(t.Resolve("/a//"), t.Resolve("/a"));
+}
+
+TEST(TreeEdge, GetOrCreateWithMessyPathCreatesCanonicalNodes) {
+  NamespaceTree t;
+  const NodeId c = t.GetOrCreatePath("//x///y/z//", NodeType::kFile);
+  EXPECT_EQ(t.PathOf(c), "/x/y/z");
+  EXPECT_EQ(t.size(), 4u);  // root + x + y + z, no empty components
+  // Re-creating through a differently-noisy spelling must not duplicate.
+  EXPECT_EQ(t.GetOrCreatePath("/x/y/z", NodeType::kFile), c);
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(TreeEdge, SingleNodeTree) {
+  NamespaceTree t;
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.PathOf(t.root()), "/");
+  EXPECT_TRUE(t.AncestorsOf(t.root()).empty());
+  EXPECT_EQ(t.SubtreeSize(t.root()), 1u);
+  EXPECT_EQ(t.MaxDepth(), 0u);
+  ASSERT_EQ(t.PreorderNodes().size(), 1u);
+  EXPECT_EQ(t.PreorderNodes()[0], t.root());
+
+  t.AddAccess(t.root(), 3.0);
+  t.RecomputeSubtreePopularity();
+  EXPECT_DOUBLE_EQ(t.TotalIndividualPopularity(), 3.0);
+
+  // Text snapshot round-trips the degenerate tree.
+  std::stringstream ss;
+  t.Save(ss);
+  const NamespaceTree back = NamespaceTree::Load(ss);
+  EXPECT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.PathOf(back.root()), "/");
+}
+
+// A global layer that swallows the whole namespace: unbounded budgets make
+// Alg. 1 promote every node, so there are no inter nodes and no subtrees,
+// and the functional cluster runs fully replicated.
+TEST(TreeEdge, GlSwallowsWholeTree) {
+  NamespaceTree t;
+  for (int i = 0; i < 6; ++i)
+    t.GetOrCreatePath("/d" + std::to_string(i) + "/f", NodeType::kFile);
+  t.AddAccess(t.Resolve("/d0/f"), 5.0);
+  t.RecomputeSubtreePopularity();
+
+  const SplitResult split = SplitTree(t, SplitConfig{});  // no bounds
+  ASSERT_TRUE(split.feasible);
+  EXPECT_EQ(split.global_layer.size(), t.size());
+  EXPECT_DOUBLE_EQ(split.locality_cost, 0.0);
+
+  const SplitLayers layers = ExtractLayers(t, split.global_layer);
+  EXPECT_TRUE(layers.subtrees.empty());
+  EXPECT_TRUE(layers.inter_nodes.empty());
+  for (NodeId id = 0; id < t.size(); ++id) EXPECT_TRUE(layers.in_global[id]);
+}
+
+TEST(TreeEdge, FullyReplicatedClusterServesAndAudits) {
+  NamespaceTree t;
+  for (int i = 0; i < 8; ++i)
+    t.GetOrCreatePath("/d/" + std::to_string(i), NodeType::kFile);
+  t.AddAccess(t.Resolve("/d/0"), 2.0);
+  t.RecomputeSubtreePopularity();
+
+  D2TreeConfig cfg;
+  cfg.explicit_bounds = SplitConfig{};  // unbounded: whole tree goes GL
+  FunctionalCluster cluster(t, 3, cfg);
+  EXPECT_EQ(cluster.assignment().ReplicatedCount(), t.size());
+
+  // Every server can answer every path directly — no forwarding ever.
+  for (NodeId id = 0; id < t.size(); ++id) {
+    for (MdsId via = 0; via < 3; ++via) {
+      const auto r = cluster.StatVia(t.PathOf(id), via);
+      EXPECT_EQ(r.status, MdsStatus::kOk);
+      EXPECT_EQ(r.hops, 1);
+      EXPECT_EQ(r.served_by, via);
+    }
+  }
+  EXPECT_EQ(cluster.total_forwards(), 0u);
+
+  // Every update is a GL broadcast; adjustment has nothing to move.
+  const auto r = cluster.Update("/d/3", 42);
+  EXPECT_EQ(r.status, MdsStatus::kOk);
+  EXPECT_EQ(cluster.gl_updates(), 1u);
+  EXPECT_EQ(cluster.RunAdjustmentRound(), 0u);
+
+  std::string error;
+  EXPECT_TRUE(cluster.CheckConsistency(&error)) << error;
+}
+
+}  // namespace
+}  // namespace d2tree
