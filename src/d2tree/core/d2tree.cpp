@@ -26,15 +26,21 @@ Assignment D2TreeScheme::BuildAssignment(const NamespaceTree& tree) const {
 }
 
 std::vector<double> D2TreeScheme::GlobalLayerBaseLoads(
-    const NamespaceTree& tree, std::size_t mds_count) const {
+    const NamespaceTree& tree, const MdsCluster& cluster) const {
   // Queries whose target lives in the global layer are served by any
-  // replica (Sec. IV-A2), so each MDS carries an even 1/M share of that
-  // routed traffic.
+  // *live* replica (Sec. IV-A2), so each serving MDS carries an even
+  // share of that routed traffic; failed servers (capacity 0) carry none.
   double gl_load = 0.0;
   for (NodeId id : layers_.global_layer)
     gl_load += tree.node(id).individual_popularity;
-  return std::vector<double>(mds_count,
-                             gl_load / static_cast<double>(mds_count));
+  std::size_t serving = 0;
+  for (double c : cluster.capacities) serving += c > 0.0;
+  std::vector<double> base(cluster.size(), 0.0);
+  if (serving == 0) return base;
+  const double share = gl_load / static_cast<double>(serving);
+  for (std::size_t k = 0; k < cluster.size(); ++k)
+    if (cluster.capacities[k] > 0.0) base[k] = share;
+  return base;
 }
 
 Assignment D2TreeScheme::Partition(const NamespaceTree& tree,
@@ -76,7 +82,7 @@ RebalanceResult D2TreeScheme::Rebalance(const NamespaceTree& tree,
     s.popularity = tree.node(s.root).subtree_popularity;
 
   // Heartbeats: every MDS reports its load to the Monitor.
-  const auto base = GlobalLayerBaseLoads(tree, cluster.size());
+  const auto base = GlobalLayerBaseLoads(tree, cluster);
   {
     std::vector<double> loads = base;
     for (std::size_t i = 0; i < layers_.subtrees.size(); ++i) {

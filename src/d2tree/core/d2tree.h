@@ -72,9 +72,11 @@ class D2TreeScheme : public Partitioner {
  private:
   SplitResult RunSplit(const NamespaceTree& tree) const;
   Assignment BuildAssignment(const NamespaceTree& tree) const;
-  /// GL query traffic is served by any replica: each MDS carries 1/M of it.
+  /// GL query traffic is served by any replica: each positive-capacity MDS
+  /// carries an even share (failed servers, reported with capacity 0,
+  /// serve none of it).
   std::vector<double> GlobalLayerBaseLoads(const NamespaceTree& tree,
-                                           std::size_t mds_count) const;
+                                           const MdsCluster& cluster) const;
 
   D2TreeConfig config_;
   SplitResult split_;

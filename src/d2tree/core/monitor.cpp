@@ -27,14 +27,15 @@ std::vector<Migration> Monitor::PlanAdjustment(
   assert(base_loads.size() == cluster.size());
   const auto m = static_cast<MdsId>(cluster.size());
 
-  // Current loads; subtrees owned by departed/unknown MDSs go straight to
-  // the pending pool.
+  // Current loads; subtrees owned by departed/unknown MDSs — or by MDSs
+  // with zero capacity (failed or heartbeat-silent servers the cluster
+  // reports as dead) — go straight to the pending pool.
   std::vector<double> loads = base_loads;
   std::vector<std::vector<std::size_t>> owned(cluster.size());
   std::vector<std::size_t> pool;
   for (std::size_t i = 0; i < subtrees.size(); ++i) {
     const MdsId o = owners[i];
-    if (o < 0 || o >= m) {
+    if (o < 0 || o >= m || cluster.capacities[o] <= 0.0) {
       pool.push_back(i);
     } else {
       owned[o].push_back(i);

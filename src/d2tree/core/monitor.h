@@ -55,8 +55,9 @@ class Monitor {
   /// `subtrees`   — the local-layer units with *fresh* popularity
   ///                (decayed counters folded in by the caller);
   /// `owners`     — current owner per subtree; an entry that is out of
-  ///                range for `cluster` (removed/failed MDS) or negative
-  ///                (unplaced) is treated as already in the pending pool;
+  ///                range for `cluster` (removed MDS), negative (unplaced)
+  ///                or pointing at a zero-capacity MDS (failed server) is
+  ///                treated as already in the pending pool;
   /// `base_loads` — per-MDS load not coming from subtrees (the global
   ///                layer's evenly spread query traffic);
   /// `cluster`    — capacities, possibly larger than before (new MDSs).

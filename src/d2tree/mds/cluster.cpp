@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <unordered_set>
 
 namespace d2tree {
 
@@ -18,6 +19,42 @@ FunctionalCluster::FunctionalCluster(const NamespaceTree& tree,
   for (std::size_t k = 0; k < mds_count; ++k)
     servers_.push_back(std::make_unique<MdsServer>(static_cast<MdsId>(k)));
   Materialize();
+}
+
+std::size_t FunctionalCluster::mds_count() const {
+  std::shared_lock topo(topo_mu_);
+  return servers_.size();
+}
+
+std::size_t FunctionalCluster::alive_count() const {
+  std::shared_lock topo(topo_mu_);
+  return AliveCountLocked();
+}
+
+bool FunctionalCluster::IsServerAlive(MdsId mds) const {
+  std::shared_lock topo(topo_mu_);
+  return AliveLocked(mds);
+}
+
+MdsId FunctionalCluster::AnyAliveLocked() const {
+  for (const auto& server : servers_)
+    if (server->alive()) return server->id();
+  return -1;
+}
+
+std::size_t FunctionalCluster::AliveCountLocked() const {
+  std::size_t n = 0;
+  for (const auto& server : servers_) n += server->alive();
+  return n;
+}
+
+MdsCluster FunctionalCluster::EffectiveCapacities() const {
+  MdsCluster effective = capacities_;
+  for (std::size_t k = 0; k < servers_.size(); ++k) {
+    if (!servers_[k]->alive() || servers_[k]->heartbeats_suppressed())
+      effective.capacities[k] = 0.0;
+  }
+  return effective;
 }
 
 InodeRecord FunctionalCluster::MakeRecord(NodeId id) const {
@@ -47,13 +84,55 @@ void FunctionalCluster::Materialize() {
   for (auto& server : servers_) server->set_gl_version(1);
 }
 
+void FunctionalCluster::RebuildGlReplicaLocked(MdsId mds) {
+  const std::uint64_t master =
+      gl_master_version_.load(std::memory_order_acquire);
+  MetadataStore& replica = servers_[mds]->global_replica();
+  replica.Clear();
+  const MdsServer* donor = nullptr;
+  for (const auto& server : servers_) {
+    if (server->id() != mds && server->alive() &&
+        server->gl_version() == master) {
+      donor = server.get();
+      break;
+    }
+  }
+  if (donor != nullptr) {
+    replica.InsertAll(donor->global_replica().Snapshot());
+  } else {
+    // No live replica to copy from: re-materialize from the backing store
+    // (update history is lost, but the namespace itself is durable).
+    for (NodeId id = 0; id < tree_.size(); ++id)
+      if (assignment_.IsReplicated(id)) replica.Put(MakeRecord(id));
+  }
+  servers_[mds]->set_gl_version(master);
+}
+
 FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
                                                           MdsId at) {
   ClientResult out;
   const auto ancestors = tree_.AncestorsOf(target);
-  MdsOpResult r = servers_[at]->Stat(target, ancestors);
   out.hops = 1;
   out.served_by = at;
+
+  if (!AliveLocked(at)) {
+    // The contact failed: the client invalidates its cached route and
+    // retries once against the authoritative placement (bounded failover).
+    failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+    const MdsId owner = assignment_.OwnerOf(target);
+    const MdsId retry = owner == kReplicated ? AnyAliveLocked() : owner;
+    if (retry == at || !AliveLocked(retry)) {
+      // The authoritative owner is down too: nobody can answer until an
+      // adjustment round re-places the orphaned subtree.
+      out.status = MdsStatus::kUnavailable;
+      return out;
+    }
+    at = retry;
+    out.hops = 2;
+    out.served_by = at;
+  }
+
+  MdsOpResult r = servers_[at]->Stat(target, ancestors);
   if (r.status == MdsStatus::kWrongServer) {
     // Forward to the authoritative owner (the receiving server consults
     // its copy of the local index — here: the cluster's).
@@ -61,9 +140,15 @@ FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
     const MdsId owner = assignment_.OwnerOf(target);
     const MdsId retry = owner == kReplicated ? at : owner;
     if (retry != at) {
-      r = servers_[retry]->Stat(target, ancestors);
-      out.hops = 2;
+      ++out.hops;
       out.served_by = retry;
+      if (!AliveLocked(retry)) {
+        // Owner crashed and its subtree has not been re-placed yet.
+        failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+        out.status = MdsStatus::kUnavailable;
+        return out;
+      }
+      r = servers_[retry]->Stat(target, ancestors);
     }
   }
   out.status = r.status;
@@ -74,16 +159,19 @@ FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
 FunctionalCluster::ClientResult FunctionalCluster::Stat(
     const std::string& path) {
   NodeId target;
-  MdsId fallback;
+  std::uint64_t entropy;
   {
     std::lock_guard lock(client_mu_);
     target = tree_.Resolve(path);
     if (target == kInvalidNode) return {};
     tree_.AddAccess(target);
-    fallback = static_cast<MdsId>(rng_.NextBounded(servers_.size()));
+    entropy = rng_();
   }
   std::shared_lock topo(topo_mu_);
   const auto owner = scheme_.local_index().Route(tree_, target);
+  // Fallback for GL-resident targets: any server (picked under the
+  // placement lock, since AddServer may grow the cluster concurrently).
+  const MdsId fallback = static_cast<MdsId>(entropy % servers_.size());
   return StatAt(target, owner.value_or(fallback));
 }
 
@@ -97,6 +185,14 @@ FunctionalCluster::ClientResult FunctionalCluster::StatVia(
     tree_.AddAccess(target);
   }
   std::shared_lock topo(topo_mu_);
+  if (via < 0 || static_cast<std::size_t>(via) >= servers_.size()) {
+    // No such server: reject instead of indexing servers_ out of range.
+    ClientResult out;
+    out.status = MdsStatus::kUnavailable;
+    out.served_by = via;
+    out.hops = 0;  // nothing was contacted
+    return out;
+  }
   return StatAt(target, via);
 }
 
@@ -116,8 +212,9 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
   std::shared_lock topo(topo_mu_);
   if (assignment_.IsReplicated(target)) {
     // Global-layer update: lock, bump the master version, write every
-    // replica before acking (Sec. IV-A3). The wait for the lock is the
-    // live-cluster contention signal the harness reports.
+    // live replica before acking (Sec. IV-A3); dead replicas catch up via
+    // the rebuild at revive. The wait for the lock is the live-cluster
+    // contention signal the harness reports.
     const auto t0 = std::chrono::steady_clock::now();
     std::lock_guard lock(gl_mu_);
     gl_lock_wait_ns_.fetch_add(
@@ -125,26 +222,99 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
             std::chrono::steady_clock::now() - t0)
             .count(),
         std::memory_order_relaxed);
+    const MdsId replica = AnyAliveLocked();
+    if (replica < 0) {
+      out.status = MdsStatus::kUnavailable;
+      return out;
+    }
     const std::uint64_t version =
         gl_master_version_.load(std::memory_order_relaxed) + 1;
     gl_master_version_.store(version, std::memory_order_release);
     for (auto& server : servers_) {
+      if (!server->alive()) continue;
       server->global_replica().Mutate(target, mtime);
       server->set_gl_version(version);
     }
     ++gl_updates_;
     out.status = MdsStatus::kOk;
-    out.served_by = 0;  // any replica can answer; pick deterministically
-    out.record = *servers_[out.served_by]->global_replica().Get(target);
+    out.served_by = replica;  // any live replica can answer
+    out.record = *servers_[replica]->global_replica().Get(target);
     return out;
   }
 
   const MdsId owner = assignment_.OwnerOf(target);
+  if (!AliveLocked(owner)) {
+    // Writes have a single authority; with the owner down the client can
+    // only invalidate its cache and report the outage.
+    failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+    out.status = MdsStatus::kUnavailable;
+    out.served_by = owner;
+    return out;
+  }
   const MdsOpResult r = servers_[owner]->UpdateLocal(target, ancestors, mtime);
   out.status = r.status;
   out.record = r.record;
   out.served_by = owner;
   return out;
+}
+
+bool FunctionalCluster::KillServer(MdsId mds) {
+  std::unique_lock topo(topo_mu_);
+  if (!AliveLocked(mds)) return false;
+  if (AliveCountLocked() <= 1) return false;  // keep the namespace reachable
+  servers_[mds]->set_alive(false);
+  // A crash loses the volatile stores; orphaned local records are
+  // recovered from the backing store when their subtrees are re-placed.
+  servers_[mds]->local().Clear();
+  servers_[mds]->global_replica().Clear();
+  return true;
+}
+
+bool FunctionalCluster::ReviveServer(MdsId mds) {
+  std::unique_lock topo(topo_mu_);
+  if (mds < 0 || static_cast<std::size_t>(mds) >= servers_.size() ||
+      servers_[mds]->alive()) {
+    return false;
+  }
+  {
+    std::lock_guard gl(gl_mu_);
+    // Replica first, liveness second: the server never serves a stale or
+    // empty global layer.
+    RebuildGlReplicaLocked(mds);
+  }
+  // Fast restart: if the crash window closed before any adjustment round,
+  // this server is still the assigned owner of its subtrees — once alive
+  // again nobody would re-place them, so their records must come back with
+  // it, re-materialized from the backing store.
+  std::uint64_t restored = 0;
+  for (NodeId id = 0; id < tree_.size(); ++id) {
+    if (assignment_.IsReplicated(id) || assignment_.OwnerOf(id) != mds)
+      continue;
+    servers_[mds]->local().Put(MakeRecord(id));
+    ++restored;
+  }
+  recovered_records_.fetch_add(restored, std::memory_order_relaxed);
+  servers_[mds]->set_heartbeats_suppressed(false);
+  servers_[mds]->set_alive(true);
+  return true;
+}
+
+MdsId FunctionalCluster::AddServer(double capacity) {
+  std::unique_lock topo(topo_mu_);
+  const MdsId id = static_cast<MdsId>(servers_.size());
+  servers_.push_back(std::make_unique<MdsServer>(id));
+  capacities_.capacities.push_back(capacity);
+  std::lock_guard gl(gl_mu_);
+  RebuildGlReplicaLocked(id);
+  return id;
+}
+
+bool FunctionalCluster::SetHeartbeatSuppressed(MdsId mds, bool suppressed) {
+  std::unique_lock topo(topo_mu_);
+  if (mds < 0 || static_cast<std::size_t>(mds) >= servers_.size())
+    return false;
+  servers_[mds]->set_heartbeats_suppressed(suppressed);
+  return true;
 }
 
 std::size_t FunctionalCluster::RunAdjustmentRound() {
@@ -153,10 +323,26 @@ std::size_t FunctionalCluster::RunAdjustmentRound() {
   // between servers (lock order: client_mu_ → topo_mu_).
   std::lock_guard client(client_mu_);
   std::unique_lock topo(topo_mu_);
+
+  {
+    // Defensive sweep: any live server whose GL replica lags the master
+    // (revived/added under unusual interleavings) is rebuilt before it
+    // can take subtree traffic.
+    std::lock_guard gl(gl_mu_);
+    const std::uint64_t master =
+        gl_master_version_.load(std::memory_order_acquire);
+    for (const auto& server : servers_)
+      if (server->alive() && server->gl_version() != master)
+        RebuildGlReplicaLocked(server->id());
+  }
+
+  const MdsCluster effective = EffectiveCapacities();
+  if (effective.TotalCapacity() <= 0.0) return 0;  // nobody can take load
+
   tree_.RecomputeSubtreePopularity();
   const auto owners_before = scheme_.subtree_owners();
   const RebalanceResult plan =
-      scheme_.Rebalance(tree_, capacities_, assignment_);
+      scheme_.Rebalance(tree_, effective, assignment_);
   const auto& owners_after = scheme_.subtree_owners();
   const auto& subtrees = scheme_.layers().subtrees;
 
@@ -170,7 +356,20 @@ std::size_t FunctionalCluster::RunAdjustmentRound() {
     members.reserve(subtrees[i].node_count);
     tree_.VisitSubtree(subtrees[i].root,
                        [&](NodeId v) { members.push_back(v); });
-    auto records = servers_[from]->local().ExtractAll(members);
+    std::vector<InodeRecord> records;
+    if (from >= 0 && static_cast<std::size_t>(from) < servers_.size())
+      records = servers_[from]->local().ExtractAll(members);
+    if (records.size() < members.size()) {
+      // Crash recovery: whatever the failed owner lost is rebuilt from
+      // the backing store before the subtree lands on its new server.
+      std::unordered_set<NodeId> extracted;
+      extracted.reserve(records.size());
+      for (const InodeRecord& r : records) extracted.insert(r.id);
+      for (NodeId v : members)
+        if (!extracted.contains(v)) records.push_back(MakeRecord(v));
+      recovered_records_.fetch_add(members.size() - extracted.size(),
+                                   std::memory_order_relaxed);
+    }
     moved_records += records.size();
     servers_[to]->local().InsertAll(records);
   }
@@ -188,10 +387,14 @@ bool FunctionalCluster::CheckConsistency(std::string* error) const {
     if (error != nullptr) *error = std::move(msg);
     return false;
   };
-  // Per-node placement audit.
+  std::vector<const MdsServer*> live;
+  for (const auto& server : servers_)
+    if (server->alive()) live.push_back(server.get());
+  if (live.empty()) return fail("no server is alive");
+  // Per-node placement audit, over the live membership.
   for (NodeId id = 0; id < tree_.size(); ++id) {
     if (assignment_.IsReplicated(id)) {
-      for (const auto& server : servers_) {
+      for (const MdsServer* server : live) {
         if (!server->global_replica().Contains(id))
           return fail("GL node " + tree_.PathOf(id) + " missing on server " +
                       std::to_string(server->id()));
@@ -199,23 +402,31 @@ bool FunctionalCluster::CheckConsistency(std::string* error) const {
           return fail("GL node " + tree_.PathOf(id) + " duplicated locally");
       }
     } else {
+      const MdsId owner = assignment_.OwnerOf(id);
+      const bool owner_alive = AliveLocked(owner);
       std::size_t holders = 0;
-      for (const auto& server : servers_) {
+      for (const MdsServer* server : live) {
         holders += server->local().Contains(id);
         if (server->global_replica().Contains(id))
           return fail("LL node " + tree_.PathOf(id) + " found in a GL replica");
       }
-      if (holders != 1)
-        return fail("LL node " + tree_.PathOf(id) + " held by " +
-                    std::to_string(holders) + " servers");
-      const MdsId owner = assignment_.OwnerOf(id);
-      if (!servers_[owner]->local().Contains(id))
-        return fail("LL node " + tree_.PathOf(id) + " not at its owner");
+      if (owner_alive) {
+        if (holders != 1)
+          return fail("LL node " + tree_.PathOf(id) + " held by " +
+                      std::to_string(holders) + " servers");
+        if (!servers_[owner]->local().Contains(id))
+          return fail("LL node " + tree_.PathOf(id) + " not at its owner");
+      } else if (holders != 0) {
+        // Owner crashed: the node is orphaned until an adjustment round
+        // re-places its subtree — nobody else may claim it meanwhile.
+        return fail("orphaned LL node " + tree_.PathOf(id) +
+                    " held by a live server");
+      }
     }
   }
-  // Replica versions.
+  // Replica versions (live replicas only; the dead catch up on revive).
   const std::uint64_t master = gl_master_version_.load();
-  for (const auto& server : servers_) {
+  for (const MdsServer* server : live) {
     if (server->gl_version() != master)
       return fail("server " + std::to_string(server->id()) +
                   " GL replica at stale version");
@@ -223,8 +434,9 @@ bool FunctionalCluster::CheckConsistency(std::string* error) const {
   // Record ↔ namespace agreement (spot fields).
   for (NodeId id = 0; id < tree_.size(); ++id) {
     const MdsId owner = assignment_.OwnerOf(id);
+    if (owner != kReplicated && !AliveLocked(owner)) continue;  // orphaned
     const auto rec = owner == kReplicated
-                         ? servers_[0]->global_replica().Get(id)
+                         ? live.front()->global_replica().Get(id)
                          : servers_[owner]->local().Get(id);
     if (!rec.has_value()) return fail("record lost for " + tree_.PathOf(id));
     if (rec->name != tree_.node(id).name || rec->parent != tree_.node(id).parent)

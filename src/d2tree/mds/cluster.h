@@ -8,20 +8,39 @@
 // moving records between stores. A consistency auditor verifies the
 // cluster invariants after any sequence of operations.
 //
+// Failure semantics (Sec. IV-A3/IV-B "owners out of range → pending
+// pool", executed for real): KillServer crashes an MDS — it stops
+// answering (clients see MdsStatus::kUnavailable, invalidate their cached
+// route and fail over once, counted in failover_redirects()) and loses
+// its volatile stores. The next RunAdjustmentRound reports the dead
+// server to the Monitor with capacity 0, so its subtrees fall into the
+// pending pool and are re-placed on survivors; records lost in the crash
+// are recovered from the backing store (the namespace tree) during the
+// migration, counted in recovered_records(). ReviveServer restarts a
+// server with its GL replica rebuilt at the master version and any
+// still-assigned subtree records re-materialized before it takes
+// traffic; AddServer grows the cluster the same way and lets the
+// newcomer pull from the pending pool per mirror division. A server whose
+// heartbeats are suppressed (SetHeartbeatSuppressed) is treated as failed
+// by the Monitor and drained, but keeps serving until its subtrees move.
+//
 // Threading contract: any number of client threads may call Stat / StatVia
 // / Update concurrently with each other and with RunAdjustmentRound /
-// CheckConsistency. Three locks coordinate them (always acquired in this
+// CheckConsistency / the fault operations (KillServer, ReviveServer,
+// AddServer). Three locks coordinate them (always acquired in this
 // order — client_mu_ → topo_mu_ → gl_mu_):
 //   * client_mu_   — client-side bookkeeping: popularity charging on the
 //                    private tree copy and the shared rng.
 //   * topo_mu_     — a shared_mutex "placement epoch" lock. Clients hold it
 //                    shared while routing and touching stores; an
-//                    adjustment round holds it exclusive while it mutates
-//                    the scheme/assignment and physically moves records, so
-//                    readers never observe a record mid-migration.
+//                    adjustment round — and every fault operation — holds
+//                    it exclusive while it mutates the scheme/assignment,
+//                    membership or liveness, so readers never observe a
+//                    record mid-migration or a server mid-crash.
 //   * gl_mu_       — the ZooKeeper-style global-layer write lock: one
 //                    update's version bump + replica broadcast is atomic
-//                    with respect to other writers and the auditor.
+//                    with respect to other writers, replica rebuilds and
+//                    the auditor.
 // gl_master_version_ is additionally atomic so monitoring reads never race
 // with a broadcast in flight.
 #pragma once
@@ -47,7 +66,10 @@ class FunctionalCluster {
   FunctionalCluster(const NamespaceTree& tree, std::size_t mds_count,
                     D2TreeConfig config = {});
 
-  std::size_t mds_count() const noexcept { return servers_.size(); }
+  /// Total servers ever part of the cluster (dead ones included).
+  std::size_t mds_count() const;
+  /// Servers currently alive.
+  std::size_t alive_count() const;
   MdsServer& server(MdsId id) { return *servers_[id]; }
   const MdsServer& server(MdsId id) const { return *servers_[id]; }
   const D2TreeScheme& scheme() const noexcept { return scheme_; }
@@ -66,25 +88,63 @@ class FunctionalCluster {
   ClientResult Stat(const std::string& path);
 
   /// Like Stat but deliberately entering at `via` — exercises the
-  /// forwarding path (stale client knowledge).
+  /// forwarding path (stale client knowledge). An out-of-range `via`
+  /// (no such server) returns kUnavailable with hops == 0.
   ClientResult StatVia(const std::string& path, MdsId via);
 
   /// Client update: local-layer targets mutate at the owner; global-layer
   /// targets take the GL lock, bump the master version and write every
-  /// replica before returning (Sec. IV-A3).
+  /// live replica before returning (Sec. IV-A3).
   ClientResult Update(const std::string& path, std::uint64_t mtime);
 
+  // --- Fault operations (the injector's hook points; each takes the
+  // --- placement-epoch lock exclusively, so faults never fire mid-op).
+
+  /// Crashes server `mds`: it stops answering and loses both stores.
+  /// Refuses to kill the last alive server (false; also false when `mds`
+  /// is out of range or already dead).
+  bool KillServer(MdsId mds);
+
+  /// Restarts a dead server: rebuilds its GL replica at the master
+  /// version (from a live replica, else from the backing store) before it
+  /// is marked alive. Subtrees it still owns — a fast restart, before any
+  /// adjustment round re-placed them — come back with it, their records
+  /// re-materialized from the backing store (counted in
+  /// recovered_records()); subtrees already re-placed stay where they
+  /// are, so after a drain it restarts empty and pulls from the pending
+  /// pool like a fresh server. False if out of range or alive.
+  bool ReviveServer(MdsId mds);
+
+  /// Adds a fresh server (GL replica pre-built at the master version) and
+  /// returns its id. It acquires subtrees via the pending pool, exactly
+  /// like the paper's "newly added MDS" (Sec. IV-B).
+  MdsId AddServer(double capacity = 1.0);
+
+  /// While suppressed, `mds` is reported to the Monitor as capacity 0
+  /// (missed heartbeats ⇒ presumed failed), so adjustment rounds drain
+  /// it; it keeps serving what it still owns. False if out of range.
+  bool SetHeartbeatSuppressed(MdsId mds, bool suppressed);
+
+  bool IsServerAlive(MdsId mds) const;
+
   /// One dynamic-adjustment round: recompute popularity from charged
-  /// accesses, plan with the Monitor, and *physically move* the affected
-  /// subtree records between stores. Serializes against concurrent clients
-  /// via the placement lock. Returns the number of migrated records.
+  /// accesses, plan with the Monitor (dead and heartbeat-silent servers
+  /// reported with capacity 0, so their subtrees route through the
+  /// pending pool to survivors), and *physically move* the affected
+  /// subtree records between stores — recovering from the backing store
+  /// any record the source server lost in a crash. Also rebuilds stale GL
+  /// replicas on revived/added servers before they take traffic.
+  /// Serializes against concurrent clients via the placement lock.
+  /// Returns the number of migrated records.
   std::size_t RunAdjustmentRound();
 
-  /// Audits the invariants: every namespace node stored exactly once in
-  /// local stores XOR on every server's GL replica; all GL replicas at the
-  /// master version; record/namespace agreement. Safe to call while client
-  /// threads are active (it quiesces writers for the audit). Returns true
-  /// when clean; otherwise fills `error`.
+  /// Audits the invariants over the *alive* servers: every namespace node
+  /// whose owner is alive is stored exactly once in local stores XOR on
+  /// every live server's GL replica; nodes orphaned by a crash (owner
+  /// dead, not yet re-placed) are held by nobody; all live GL replicas at
+  /// the master version; record/namespace agreement. Safe to call while
+  /// client threads are active (it quiesces writers for the audit).
+  /// Returns true when clean; otherwise fills `error`.
   bool CheckConsistency(std::string* error) const;
 
   std::uint64_t gl_master_version() const noexcept {
@@ -103,12 +163,35 @@ class FunctionalCluster {
   std::uint64_t adjustment_rounds() const noexcept {
     return adjustment_rounds_.load();
   }
+  /// Client redirects after contacting a dead server (stale-cache
+  /// invalidation + failover, Lustre-style).
+  std::uint64_t failover_redirects() const noexcept {
+    return failover_redirects_.load();
+  }
+  /// Records rebuilt from the backing store because their owner crashed
+  /// before they migrated.
+  std::uint64_t recovered_records() const noexcept {
+    return recovered_records_.load();
+  }
 
  private:
   InodeRecord MakeRecord(NodeId id) const;
   void Materialize();
   /// Access logic against live stores; caller must hold topo_mu_ (shared).
   ClientResult StatAt(NodeId target, MdsId at);
+  /// Liveness check; caller must hold topo_mu_ (shared or exclusive).
+  bool AliveLocked(MdsId mds) const {
+    return mds >= 0 && static_cast<std::size_t>(mds) < servers_.size() &&
+           servers_[mds]->alive();
+  }
+  MdsId AnyAliveLocked() const;
+  std::size_t AliveCountLocked() const;
+  /// Capacities the Monitor plans with: 0 for dead or heartbeat-silent
+  /// servers. Caller must hold topo_mu_.
+  MdsCluster EffectiveCapacities() const;
+  /// Re-fills `mds`'s GL replica at the master version. Caller must hold
+  /// topo_mu_ exclusively and gl_mu_.
+  void RebuildGlReplicaLocked(MdsId mds);
 
   NamespaceTree tree_;  // private copy: accrues access popularity
   MdsCluster capacities_;
@@ -124,6 +207,8 @@ class FunctionalCluster {
   std::atomic<std::uint64_t> gl_updates_{0};
   std::atomic<std::uint64_t> gl_lock_wait_ns_{0};
   std::atomic<std::uint64_t> adjustment_rounds_{0};
+  std::atomic<std::uint64_t> failover_redirects_{0};
+  std::atomic<std::uint64_t> recovered_records_{0};
   /// Guards the client-side bookkeeping (popularity charging, rng) so
   /// multiple client threads can drive the cluster concurrently; server
   /// stores have their own locks.

@@ -44,6 +44,7 @@ enum class MdsStatus : std::uint8_t {
   kNotFound,        // no such node on this server (routing bug or races)
   kNotPermitted,    // permission check failed along the path
   kWrongServer,     // request must be forwarded (carries the target)
+  kUnavailable,     // server is down or does not exist (client fails over)
 };
 
 const char* MdsStatusName(MdsStatus status);

@@ -11,8 +11,12 @@ bool MdsServer::CheckAncestors(std::span<const NodeId> ancestors) const {
 
 MdsOpResult MdsServer::Stat(NodeId target,
                             std::span<const NodeId> ancestors) const {
-  ++ops_;
   MdsOpResult result;
+  if (!alive()) {
+    result.status = MdsStatus::kUnavailable;
+    return result;
+  }
+  ++ops_;
   auto record = global_.Get(target);
   if (!record.has_value()) record = local_.Get(target);
   if (!record.has_value()) {
@@ -34,8 +38,12 @@ MdsOpResult MdsServer::Stat(NodeId target,
 MdsOpResult MdsServer::UpdateLocal(NodeId target,
                                    std::span<const NodeId> ancestors,
                                    std::uint64_t mtime) {
-  ++ops_;
   MdsOpResult result;
+  if (!alive()) {
+    result.status = MdsStatus::kUnavailable;
+    return result;
+  }
+  ++ops_;
   if (!local_.Contains(target)) {
     result.status = MdsStatus::kWrongServer;
     return result;

@@ -36,6 +36,24 @@ class MdsServer {
   std::uint64_t gl_version() const noexcept { return gl_version_.load(); }
   void set_gl_version(std::uint64_t v) noexcept { gl_version_.store(v); }
 
+  /// Liveness: a dead server answers nothing (the cluster's fault layer
+  /// flips this on KillServer/ReviveServer).
+  bool alive() const noexcept {
+    return alive_.load(std::memory_order_acquire);
+  }
+  void set_alive(bool alive) noexcept {
+    alive_.store(alive, std::memory_order_release);
+  }
+
+  /// While suppressed, the server's heartbeats never reach the Monitor, so
+  /// an adjustment round treats it like a failed MDS and drains it.
+  bool heartbeats_suppressed() const noexcept {
+    return hb_suppressed_.load(std::memory_order_acquire);
+  }
+  void set_heartbeats_suppressed(bool suppressed) noexcept {
+    hb_suppressed_.store(suppressed, std::memory_order_release);
+  }
+
   /// Reads `target` after checking every ancestor is readable *from this
   /// server* (each must be in the GL replica or owned locally): the
   /// pathname traversal + permission check of Sec. III-A.
@@ -60,6 +78,8 @@ class MdsServer {
   MetadataStore local_;
   MetadataStore global_;
   std::atomic<std::uint64_t> gl_version_{0};
+  std::atomic<bool> alive_{true};
+  std::atomic<bool> hb_suppressed_{false};
   mutable std::atomic<std::uint64_t> ops_{0};
 };
 

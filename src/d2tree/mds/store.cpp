@@ -12,6 +12,8 @@ const char* MdsStatusName(MdsStatus status) {
       return "not-permitted";
     case MdsStatus::kWrongServer:
       return "wrong-server";
+    case MdsStatus::kUnavailable:
+      return "unavailable";
   }
   return "?";
 }
@@ -68,6 +70,19 @@ std::vector<InodeRecord> MetadataStore::ExtractAll(
 void MetadataStore::InsertAll(const std::vector<InodeRecord>& records) {
   std::lock_guard lock(mu_);
   for (const auto& r : records) records_[r.id] = r;
+}
+
+std::vector<InodeRecord> MetadataStore::Snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<InodeRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(rec);
+  return out;
+}
+
+void MetadataStore::Clear() {
+  std::lock_guard lock(mu_);
+  records_.clear();
 }
 
 std::size_t MetadataStore::size() const {

@@ -45,6 +45,12 @@ class MetadataStore {
   /// Bulk insert (migration target side).
   void InsertAll(const std::vector<InodeRecord>& records);
 
+  /// Copy of every held record (replica rebuild source side).
+  std::vector<InodeRecord> Snapshot() const;
+
+  /// Drops every record (a crashed server loses its volatile state).
+  void Clear();
+
   std::size_t size() const;
 
   /// Snapshot of all held ids (audit/consistency checks).

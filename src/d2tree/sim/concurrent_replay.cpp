@@ -4,6 +4,7 @@
 #include <barrier>
 #include <chrono>
 #include <functional>
+#include <optional>
 #include <thread>
 
 #include "d2tree/common/zipf.h"
@@ -39,6 +40,7 @@ void IssueOp(FunctionalCluster& cluster, const std::string& path,
     ++stats.ok;
   } else {
     ++stats.failed;
+    if (r.status == MdsStatus::kUnavailable) ++stats.unavailable;
   }
   if (r.hops > 1) ++stats.forwarded;
 }
@@ -46,8 +48,12 @@ void IssueOp(FunctionalCluster& cluster, const std::string& path,
 /// Runs `body(thread_index, stats)` on `thread_count` barrier-started
 /// threads with the background adjustment thread interleaved, then
 /// aggregates stats, counter deltas and the final audit into the report.
+/// `injector` (may be null) is the fault layer; the bodies drive it via
+/// OnOp, and a run in which faults fired ends with one extra recovery
+/// adjustment round before the audit.
 ConcurrentReplayReport RunHarness(
     FunctionalCluster& cluster, const ConcurrentReplayConfig& config,
+    FaultInjector* injector,
     const std::function<void(std::size_t, ThreadReplayStats&)>& body) {
   ConcurrentReplayReport report;
   report.per_thread.resize(config.thread_count);
@@ -55,6 +61,8 @@ ConcurrentReplayReport RunHarness(
   const std::uint64_t forwards_before = cluster.total_forwards();
   const std::uint64_t gl_updates_before = cluster.gl_updates();
   const double gl_wait_before = cluster.gl_lock_wait_seconds();
+  const std::uint64_t redirects_before = cluster.failover_redirects();
+  const std::uint64_t recovered_before = cluster.recovered_records();
 
   // +1 worker slot for the adjuster, +1 for the timing thread (main).
   std::barrier start(static_cast<std::ptrdiff_t>(config.thread_count) + 2);
@@ -93,11 +101,20 @@ ConcurrentReplayReport RunHarness(
   clients_done.store(true);
   adjuster.join();
 
+  // Recovery round: a kill near the end of the replay may leave subtrees
+  // orphaned with no adjustment round left to re-place them; with faults
+  // in play the harness always closes with one.
+  if (injector != nullptr && injector->fired() > 0) {
+    migrated.fetch_add(cluster.RunAdjustmentRound());
+    rounds_run.fetch_add(1);
+  }
+
   for (const ThreadReplayStats& s : report.per_thread) {
     report.total_ops += s.ops;
     report.total_ok += s.ok;
     report.total_forwarded += s.forwarded;
     report.total_failed += s.failed;
+    report.total_unavailable += s.unavailable;
     report.latency.Merge(s.latency);
   }
   report.throughput_ops_per_sec =
@@ -110,6 +127,14 @@ ConcurrentReplayReport RunHarness(
       cluster.gl_lock_wait_seconds() - gl_wait_before;
   report.adjustment_rounds_run = rounds_run.load();
   report.migrated_records = migrated.load();
+  report.failover_redirects = cluster.failover_redirects() - redirects_before;
+  report.recovered_records = cluster.recovered_records() - recovered_before;
+  if (injector != nullptr) {
+    report.faults_applied = injector->applied();
+    report.faults_skipped = injector->skipped();
+  }
+  report.final_mds_count = cluster.mds_count();
+  report.final_alive_count = cluster.alive_count();
   report.consistent = cluster.CheckConsistency(&report.consistency_error);
   return report;
 }
@@ -129,9 +154,13 @@ ConcurrentReplayReport RunConcurrentReplay(
   const std::vector<std::string> paths = AllPaths(tree);
   const ZipfSampler zipf(paths.size(), config.zipf_theta);
   const std::size_t mds_count = cluster.mds_count();
+  std::optional<FaultInjector> injector;
+  if (!config.fault_schedule.empty())
+    injector.emplace(cluster, config.fault_schedule);
+  FaultInjector* inj = injector.has_value() ? &*injector : nullptr;
 
-  return RunHarness(cluster, config, [&](std::size_t t,
-                                         ThreadReplayStats& stats) {
+  return RunHarness(cluster, config, inj, [&, inj](std::size_t t,
+                                                   ThreadReplayStats& stats) {
     // Per-thread deterministic op stream (timing is the only nondeterminism).
     std::uint64_t sm = config.seed + 0x9E3779B97F4A7C15ULL * (t + 1);
     Rng rng(SplitMix64(sm));
@@ -142,6 +171,7 @@ ConcurrentReplayReport RunConcurrentReplay(
       if (!is_update && rng.NextBool(config.stale_entry_fraction))
         via = static_cast<MdsId>(rng.NextBounded(mds_count));
       IssueOp(cluster, path, is_update, via, /*mtime=*/i, stats);
+      if (inj != nullptr) inj->OnOp();
     }
   });
 }
@@ -154,9 +184,13 @@ ConcurrentReplayReport ReplayTraceConcurrently(
   const std::size_t per_thread =
       config.thread_count == 0 ? 0 : records.size() / config.thread_count;
   const std::size_t mds_count = cluster.mds_count();
+  std::optional<FaultInjector> injector;
+  if (!config.fault_schedule.empty())
+    injector.emplace(cluster, config.fault_schedule);
+  FaultInjector* inj = injector.has_value() ? &*injector : nullptr;
 
-  return RunHarness(cluster, config, [&](std::size_t t,
-                                         ThreadReplayStats& stats) {
+  return RunHarness(cluster, config, inj, [&, inj](std::size_t t,
+                                                   ThreadReplayStats& stats) {
     std::uint64_t sm = config.seed + 0x9E3779B97F4A7C15ULL * (t + 1);
     Rng rng(SplitMix64(sm));
     const std::size_t begin = t * per_thread;
@@ -169,6 +203,7 @@ ConcurrentReplayReport ReplayTraceConcurrently(
       if (!is_update && rng.NextBool(config.stale_entry_fraction))
         via = static_cast<MdsId>(rng.NextBounded(mds_count));
       IssueOp(cluster, paths[rec.node], is_update, via, /*mtime=*/i, stats);
+      if (inj != nullptr) inj->OnOp();
     }
   });
 }

@@ -11,6 +11,14 @@
 // latency histograms, forward counts and GL-lock contention are collected
 // through the metrics module, and the run ends with the cluster's
 // consistency audit.
+//
+// A run may additionally carry a FaultSchedule: a FaultInjector then
+// crashes, revives and adds servers (and toggles heartbeats) at fixed
+// aggregate op counts while the client threads replay, so failover and
+// crash recovery race live traffic. When faults fired, the harness runs
+// one extra adjustment round after the clients finish — the recovery
+// round that re-places any subtree still orphaned by a late kill —
+// before the final audit.
 #pragma once
 
 #include <cstddef>
@@ -20,6 +28,7 @@
 
 #include "d2tree/mds/cluster.h"
 #include "d2tree/metrics/metrics.h"
+#include "d2tree/sim/fault_injector.h"
 #include "d2tree/trace/trace.h"
 
 namespace d2tree {
@@ -44,15 +53,20 @@ struct ConcurrentReplayConfig {
   /// Sleep between adjustment rounds, microseconds (0 = back-to-back).
   std::size_t adjustment_interval_us = 1000;
   std::uint64_t seed = 0xD27EE;
+  /// Faults injected while the clients replay (empty = fault-free run).
+  /// Events fire on the aggregate client op counter, so a schedule is
+  /// reproducible from its seed regardless of thread interleaving.
+  FaultSchedule fault_schedule;
 };
 
 /// What one client thread observed (index = thread id).
 struct ThreadReplayStats {
   std::size_t ops = 0;
   std::size_t ok = 0;
-  std::size_t forwarded = 0;  // served with hops > 1
-  std::size_t failed = 0;     // any status other than kOk
-  LatencyHistogram latency;   // per-op wall latency, µs
+  std::size_t forwarded = 0;    // served with hops > 1
+  std::size_t failed = 0;       // any status other than kOk
+  std::size_t unavailable = 0;  // kUnavailable (dead-server windows)
+  LatencyHistogram latency;     // per-op wall latency, µs
 };
 
 struct ConcurrentReplayReport {
@@ -75,6 +89,15 @@ struct ConcurrentReplayReport {
   // Background adjustment activity.
   std::size_t adjustment_rounds_run = 0;
   std::size_t migrated_records = 0;
+
+  // Fault-injection activity (all zero on a fault-free run).
+  std::size_t total_unavailable = 0;      // ops lost to dead-server windows
+  std::uint64_t failover_redirects = 0;   // delta of the cluster counter
+  std::uint64_t recovered_records = 0;    // delta of the cluster counter
+  std::size_t faults_applied = 0;         // events the cluster accepted
+  std::size_t faults_skipped = 0;         // events it rejected
+  std::size_t final_mds_count = 0;        // membership after the run
+  std::size_t final_alive_count = 0;
 
   // Final audit.
   bool consistent = false;

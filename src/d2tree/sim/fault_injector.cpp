@@ -1,0 +1,171 @@
+#include "d2tree/sim/fault_injector.h"
+
+#include <algorithm>
+
+#include "d2tree/common/rng.h"
+
+namespace d2tree {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKill:
+      return "kill";
+    case FaultKind::kRevive:
+      return "revive";
+    case FaultKind::kAddServer:
+      return "add-server";
+    case FaultKind::kDropHeartbeats:
+      return "drop-heartbeats";
+    case FaultKind::kResumeHeartbeats:
+      return "resume-heartbeats";
+  }
+  return "?";
+}
+
+FaultSchedule FaultSchedule::Random(std::uint64_t seed, std::size_t mds_count,
+                                    std::size_t total_ops,
+                                    const FaultMix& mix) {
+  FaultSchedule schedule;
+  if (mds_count == 0 || total_ops == 0) return schedule;
+  Rng rng(seed);
+
+  // Simulate the cluster membership while sequencing kinds, so every
+  // event is valid when it fires in schedule order: kills pick a live
+  // server and keep at least one alive, revives pick a currently dead
+  // one, drops pick a live one and are paired with a later resume.
+  std::vector<bool> alive(mds_count, true);
+  std::size_t alive_n = mds_count;
+  std::vector<MdsId> dead;
+  std::vector<MdsId> awaiting_resume;
+  std::size_t kills = mix.kills;
+  std::size_t revives = mix.revives;
+  std::size_t additions = mix.server_additions;
+  std::size_t drops = mix.heartbeat_drops;
+
+  const auto pick_alive = [&]() -> MdsId {
+    std::vector<MdsId> candidates;
+    for (std::size_t k = 0; k < alive.size(); ++k)
+      if (alive[k]) candidates.push_back(static_cast<MdsId>(k));
+    return candidates[rng.NextBounded(candidates.size())];
+  };
+
+  std::vector<std::pair<FaultKind, MdsId>> sequence;
+  // Round-robin over the kinds: one of each per round, in an order that
+  // guarantees a revive always has a corpse and a resume follows its drop.
+  while (kills + revives + additions + drops + awaiting_resume.size() > 0) {
+    bool progressed = false;
+    if (kills > 0 && alive_n > 1) {
+      const MdsId t = pick_alive();
+      alive[t] = false;
+      --alive_n;
+      dead.push_back(t);
+      sequence.emplace_back(FaultKind::kKill, t);
+      --kills;
+      progressed = true;
+    }
+    if (drops > 0 && alive_n > 0) {
+      const MdsId t = pick_alive();
+      sequence.emplace_back(FaultKind::kDropHeartbeats, t);
+      awaiting_resume.push_back(t);
+      --drops;
+      progressed = true;
+    }
+    if (additions > 0) {
+      sequence.emplace_back(FaultKind::kAddServer, -1);
+      alive.push_back(true);
+      ++alive_n;
+      --additions;
+      progressed = true;
+    }
+    if (revives > 0 && !dead.empty()) {
+      const std::size_t pick = rng.NextBounded(dead.size());
+      const MdsId t = dead[pick];
+      dead.erase(dead.begin() + static_cast<std::ptrdiff_t>(pick));
+      alive[t] = true;
+      ++alive_n;
+      sequence.emplace_back(FaultKind::kRevive, t);
+      --revives;
+      progressed = true;
+    }
+    if (drops == 0 && !awaiting_resume.empty()) {
+      const MdsId t = awaiting_resume.front();
+      awaiting_resume.erase(awaiting_resume.begin());
+      sequence.emplace_back(FaultKind::kResumeHeartbeats, t);
+      progressed = true;
+    }
+    // Unsatisfiable leftovers (e.g. more revives than kills, or a kill
+    // with one server): drop them rather than loop forever.
+    if (!progressed) break;
+  }
+
+  // Spread the events over the middle of the run — traffic races each
+  // fault from both sides, and the tail leaves room for recovery rounds.
+  const std::size_t lo = total_ops / 6 + 1;
+  const std::size_t hi = std::max(lo + 1, total_ops * 5 / 6);
+  schedule.events.reserve(sequence.size());
+  std::size_t prev_at = 0;
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    std::size_t at = lo + (hi - lo) * (i + 1) / (sequence.size() + 1);
+    at = std::max(at, prev_at + 1);  // keep the order strict
+    prev_at = at;
+    schedule.events.push_back({at, sequence[i].first, sequence[i].second});
+  }
+  return schedule;
+}
+
+std::string FaultSchedule::ToString() const {
+  std::string out;
+  for (const FaultEvent& e : events) {
+    out += "@" + std::to_string(e.at_op) + " " + FaultKindName(e.kind);
+    if (e.kind != FaultKind::kAddServer)
+      out += " mds=" + std::to_string(e.target);
+    out += "\n";
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(FunctionalCluster& cluster, FaultSchedule schedule)
+    : cluster_(cluster), events_(std::move(schedule.events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_op < b.at_op;
+                   });
+  if (!events_.empty())
+    next_at_.store(events_.front().at_op, std::memory_order_relaxed);
+}
+
+void FaultInjector::OnOp() {
+  const std::size_t seen = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (seen < next_at_.load(std::memory_order_acquire)) return;  // fast path
+  std::lock_guard lock(mu_);
+  while (cursor_ < events_.size() && events_[cursor_].at_op <= seen)
+    Fire(events_[cursor_++]);
+  next_at_.store(cursor_ < events_.size()
+                     ? events_[cursor_].at_op
+                     : std::numeric_limits<std::size_t>::max(),
+                 std::memory_order_release);
+}
+
+void FaultInjector::Fire(const FaultEvent& event) {
+  bool accepted = false;
+  switch (event.kind) {
+    case FaultKind::kKill:
+      accepted = cluster_.KillServer(event.target);
+      break;
+    case FaultKind::kRevive:
+      accepted = cluster_.ReviveServer(event.target);
+      break;
+    case FaultKind::kAddServer:
+      accepted = cluster_.AddServer() >= 0;
+      break;
+    case FaultKind::kDropHeartbeats:
+      accepted = cluster_.SetHeartbeatSuppressed(event.target, true);
+      break;
+    case FaultKind::kResumeHeartbeats:
+      accepted = cluster_.SetHeartbeatSuppressed(event.target, false);
+      break;
+  }
+  (accepted ? applied_ : skipped_).fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace d2tree

@@ -1,0 +1,125 @@
+// Deterministic fault injection for the functional cluster.
+//
+// A FaultSchedule is a seeded list of membership/liveness events — crash
+// MDS k, restart it empty, add a fresh MDS, drop or resume its heartbeats
+// — each pinned to an *aggregate operation count*: the event fires when
+// the client threads have collectively completed that many operations.
+// Tying events to op counts instead of wall time makes a fault run
+// reproducible from the schedule seed regardless of thread interleaving
+// or machine speed.
+//
+// The FaultInjector consumes a schedule against a live FunctionalCluster.
+// Client threads call OnOp() once per completed operation; due events are
+// dispatched through the cluster's fault operations (KillServer /
+// ReviveServer / AddServer / SetHeartbeatSuppressed), each of which takes
+// the placement-epoch lock exclusively — so a fault never fires in the
+// middle of a routed request or a migration. Events the cluster rejects
+// (e.g. a kill that would down the last server) are counted as skipped,
+// never retried.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "d2tree/mds/cluster.h"
+
+namespace d2tree {
+
+enum class FaultKind : std::uint8_t {
+  kKill,              // crash the target MDS (volatile stores lost)
+  kRevive,            // restart the target empty, GL rebuilt at master
+  kAddServer,         // grow the cluster by one fresh MDS
+  kDropHeartbeats,    // Monitor presumes the target failed; it drains
+  kResumeHeartbeats,  // target reports again and may pull from the pool
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  std::size_t at_op = 0;  // fires once the aggregate op count reaches this
+  FaultKind kind = FaultKind::kKill;
+  MdsId target = -1;  // ignored for kAddServer
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// How many events of each kind FaultSchedule::Random generates. Every
+/// drop is paired with a later resume.
+struct FaultMix {
+  std::size_t kills = 2;
+  std::size_t revives = 1;
+  std::size_t server_additions = 1;
+  std::size_t heartbeat_drops = 0;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;  // sorted by at_op
+
+  bool empty() const noexcept { return events.empty(); }
+
+  /// Deterministic random schedule over a run of `total_ops` aggregate
+  /// client operations against a cluster that starts with `mds_count`
+  /// servers. Valid by construction: kills keep at least one server
+  /// alive, revives only target previously killed servers, and events
+  /// are spread over the middle of the run so faults race live traffic
+  /// on both sides. Same (seed, mds_count, total_ops, mix) → same
+  /// schedule, always.
+  static FaultSchedule Random(std::uint64_t seed, std::size_t mds_count,
+                              std::size_t total_ops, const FaultMix& mix = {});
+
+  /// One event per line: "@<at_op> <kind> mds=<target>" ("@<at_op>
+  /// add-server" for additions) — the format EXPERIMENTS.md documents.
+  std::string ToString() const;
+};
+
+class FaultInjector {
+ public:
+  /// Sorts `schedule` by at_op and arms it against `cluster`.
+  FaultInjector(FunctionalCluster& cluster, FaultSchedule schedule);
+
+  /// Called by every client thread once per completed operation: advances
+  /// the aggregate op counter and fires all events that became due.
+  /// Thread-safe; each event fires exactly once. Must not be called while
+  /// holding any cluster lock (the fault operations take the placement
+  /// lock exclusively).
+  void OnOp();
+
+  /// Aggregate operations observed so far.
+  std::size_t ops_seen() const noexcept {
+    return ops_.load(std::memory_order_relaxed);
+  }
+  /// Events dispatched (applied + skipped).
+  std::size_t fired() const noexcept {
+    return applied_.load(std::memory_order_relaxed) +
+           skipped_.load(std::memory_order_relaxed);
+  }
+  /// Events the cluster accepted.
+  std::size_t applied() const noexcept {
+    return applied_.load(std::memory_order_relaxed);
+  }
+  /// Events the cluster rejected (e.g. kill of the last alive server).
+  std::size_t skipped() const noexcept {
+    return skipped_.load(std::memory_order_relaxed);
+  }
+  std::size_t event_count() const noexcept { return events_.size(); }
+
+ private:
+  void Fire(const FaultEvent& event);
+
+  FunctionalCluster& cluster_;
+  std::vector<FaultEvent> events_;
+  std::atomic<std::size_t> ops_{0};
+  /// at_op of the next unfired event — the lock-free fast-path gate.
+  std::atomic<std::size_t> next_at_{std::numeric_limits<std::size_t>::max()};
+  std::mutex mu_;           // serializes firing
+  std::size_t cursor_ = 0;  // first unfired event; guarded by mu_
+  std::atomic<std::size_t> applied_{0};
+  std::atomic<std::size_t> skipped_{0};
+};
+
+}  // namespace d2tree

@@ -1,0 +1,399 @@
+// Deterministic failure/recovery tests for the functional cluster: crash
+// an MDS and watch clients fail over, orphaned subtrees route through the
+// Monitor's pending pool to survivors (records recovered from the backing
+// store), revived servers come back with their GL replica rebuilt at the
+// master version, and added servers pull from the pool per mirror
+// division. Closes with a property sweep over random tree shapes and
+// random kill sets. Everything here is single-threaded and fast; the
+// concurrent fault storms live in test_fault_stress.cpp (label "stress").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "d2tree/mds/cluster.h"
+#include "d2tree/nstree/builder.h"
+#include "d2tree/sim/fault_injector.h"
+#include "d2tree/trace/profiles.h"
+
+namespace d2tree {
+namespace {
+
+/// Sum of alive servers' local-store sizes; with every live GL replica
+/// holding the `gl` global-layer nodes, conservation of the namespace
+/// means this equals tree_size - gl (no record lost, none duplicated).
+std::size_t AliveLocalRecords(const FunctionalCluster& cluster) {
+  std::size_t total = 0;
+  for (MdsId k = 0; k < static_cast<MdsId>(cluster.mds_count()); ++k)
+    if (cluster.IsServerAlive(k)) total += cluster.server(k).local().size();
+  return total;
+}
+
+void ExpectNoRecordLost(const FunctionalCluster& cluster,
+                        std::size_t tree_size) {
+  const std::size_t gl = cluster.scheme().split().global_layer.size();
+  EXPECT_EQ(AliveLocalRecords(cluster), tree_size - gl);
+  for (MdsId k = 0; k < static_cast<MdsId>(cluster.mds_count()); ++k) {
+    if (cluster.IsServerAlive(k)) {
+      EXPECT_EQ(cluster.server(k).global_replica().size(), gl)
+          << "GL replica incomplete on MDS " << k;
+    }
+  }
+}
+
+class FailureRecoveryTest : public ::testing::Test {
+ protected:
+  FailureRecoveryTest()
+      : workload_(GenerateWorkload(DtrProfile(0.05))),
+        cluster_(workload_.tree, 4) {}
+
+  /// A local-layer subtree root currently owned by `mds` ('' if none).
+  std::string SubtreePathOwnedBy(MdsId mds) const {
+    const auto& subtrees = cluster_.scheme().layers().subtrees;
+    const auto& owners = cluster_.scheme().subtree_owners();
+    for (std::size_t i = 0; i < subtrees.size(); ++i)
+      if (owners[i] == mds) return workload_.tree.PathOf(subtrees[i].root);
+    return {};
+  }
+
+  /// Some MDS that owns at least one subtree (every test needs a victim
+  /// with something to lose).
+  MdsId VictimWithSubtrees() const {
+    const auto& owners = cluster_.scheme().subtree_owners();
+    for (MdsId k = 0; k < static_cast<MdsId>(cluster_.mds_count()); ++k)
+      if (std::count(owners.begin(), owners.end(), k) > 0) return k;
+    return -1;
+  }
+
+  void ChargeTraffic(std::size_t stride) {
+    for (NodeId id = 0; id < workload_.tree.size(); id += stride)
+      cluster_.Stat(workload_.tree.PathOf(id));
+  }
+
+  Workload workload_;
+  FunctionalCluster cluster_;
+};
+
+// A crashed server stops answering: clients that route to it observe
+// kUnavailable, invalidate their cached entry and fail over (counted),
+// while global-layer reads transparently redirect to a live replica.
+TEST_F(FailureRecoveryTest, KillMakesOwnerUnavailableAndClientsFailOver) {
+  const MdsId victim = VictimWithSubtrees();
+  ASSERT_GE(victim, 0);
+  const std::string orphan_path = SubtreePathOwnedBy(victim);
+  ASSERT_FALSE(orphan_path.empty());
+  EXPECT_EQ(cluster_.Stat(orphan_path).status, MdsStatus::kOk);
+
+  ASSERT_TRUE(cluster_.KillServer(victim));
+  EXPECT_FALSE(cluster_.IsServerAlive(victim));
+  EXPECT_EQ(cluster_.alive_count(), 3u);
+  // Crash loses the volatile stores.
+  EXPECT_EQ(cluster_.server(victim).local().size(), 0u);
+  EXPECT_EQ(cluster_.server(victim).global_replica().size(), 0u);
+
+  const std::uint64_t redirects_before = cluster_.failover_redirects();
+  const auto r = cluster_.Stat(orphan_path);
+  EXPECT_EQ(r.status, MdsStatus::kUnavailable);
+  EXPECT_GT(cluster_.failover_redirects(), redirects_before);
+
+  // GL reads entering at the dead server redirect to a live replica.
+  const std::string gl_path =
+      workload_.tree.PathOf(cluster_.scheme().split().global_layer.front());
+  const auto gl = cluster_.StatVia(gl_path, victim);
+  EXPECT_EQ(gl.status, MdsStatus::kOk);
+  EXPECT_NE(gl.served_by, victim);
+}
+
+// The next adjustment round reports the dead server with capacity 0, so
+// its subtrees fall into the pending pool and are re-placed exactly once
+// on survivors; records lost in the crash are rebuilt from the backing
+// store and the audit comes back clean.
+TEST_F(FailureRecoveryTest, AdjustmentReplacesOrphanedSubtreesExactlyOnce) {
+  ChargeTraffic(3);
+  const MdsId victim = VictimWithSubtrees();
+  ASSERT_GE(victim, 0);
+  const std::string orphan_path = SubtreePathOwnedBy(victim);
+  ASSERT_TRUE(cluster_.KillServer(victim));
+
+  const std::size_t migrated = cluster_.RunAdjustmentRound();
+  EXPECT_GT(migrated, 0u);
+  EXPECT_GT(cluster_.recovered_records(), 0u);  // crash really lost records
+
+  const auto& owners = cluster_.scheme().subtree_owners();
+  EXPECT_EQ(std::count(owners.begin(), owners.end(), victim), 0);
+  for (const MdsId o : owners) EXPECT_TRUE(cluster_.IsServerAlive(o));
+
+  std::string error;
+  EXPECT_TRUE(cluster_.CheckConsistency(&error)) << error;
+  ExpectNoRecordLost(cluster_, workload_.tree.size());
+
+  // The orphaned namespace is fully servable again, by a survivor.
+  const auto r = cluster_.Stat(orphan_path);
+  EXPECT_EQ(r.status, MdsStatus::kOk);
+  EXPECT_NE(r.served_by, victim);
+}
+
+// Updates against a dead owner fail over like reads: redirect counted,
+// kUnavailable surfaced, and nothing is mutated anywhere.
+TEST_F(FailureRecoveryTest, UpdateAgainstDeadOwnerIsUnavailable) {
+  const MdsId victim = VictimWithSubtrees();
+  ASSERT_GE(victim, 0);
+  const std::string path = SubtreePathOwnedBy(victim);
+  ASSERT_TRUE(cluster_.KillServer(victim));
+
+  const std::uint64_t redirects_before = cluster_.failover_redirects();
+  const std::uint64_t version_before = cluster_.gl_master_version();
+  EXPECT_EQ(cluster_.Update(path, 42).status, MdsStatus::kUnavailable);
+  EXPECT_GT(cluster_.failover_redirects(), redirects_before);
+  EXPECT_EQ(cluster_.gl_master_version(), version_before);
+}
+
+// A revived server restarts empty but with its GL replica rebuilt at the
+// master version — including updates it missed while dead — before it
+// takes any traffic.
+TEST_F(FailureRecoveryTest, ReviveRebuildsGlReplicaAtMasterVersion) {
+  const MdsId victim = VictimWithSubtrees();
+  ASSERT_GE(victim, 0);
+  ASSERT_TRUE(cluster_.KillServer(victim));
+  cluster_.RunAdjustmentRound();  // survivors absorb the orphans
+
+  // GL writes the dead server misses entirely.
+  const std::string gl_path =
+      workload_.tree.PathOf(cluster_.scheme().split().global_layer.front());
+  for (int i = 0; i < 5; ++i)
+    ASSERT_EQ(cluster_.Update(gl_path, i).status, MdsStatus::kOk);
+
+  ASSERT_TRUE(cluster_.ReviveServer(victim));
+  EXPECT_TRUE(cluster_.IsServerAlive(victim));
+  EXPECT_EQ(cluster_.server(victim).gl_version(), cluster_.gl_master_version());
+  EXPECT_EQ(cluster_.server(victim).global_replica().size(),
+            cluster_.scheme().split().global_layer.size());
+  EXPECT_EQ(cluster_.server(victim).local().size(), 0u);  // owns nothing yet
+
+  // It serves GL reads immediately, with the missed update visible.
+  const auto r = cluster_.StatVia(gl_path, victim);
+  EXPECT_EQ(r.status, MdsStatus::kOk);
+  EXPECT_EQ(r.served_by, victim);
+  EXPECT_EQ(r.record.attrs.mtime, 4u);
+
+  std::string error;
+  EXPECT_TRUE(cluster_.CheckConsistency(&error)) << error;
+  ExpectNoRecordLost(cluster_, workload_.tree.size());
+
+  // Reviving an alive server (or nonsense id) is refused.
+  EXPECT_FALSE(cluster_.ReviveServer(victim));
+  EXPECT_FALSE(cluster_.ReviveServer(99));
+}
+
+// Fast restart: the server comes back before any adjustment round has
+// re-placed its subtrees. It is still their assigned owner, so its
+// records must return with it — re-materialized from the backing store —
+// or the namespace would silently lose them.
+TEST_F(FailureRecoveryTest, FastRestartRestoresStillOwnedSubtrees) {
+  const MdsId victim = VictimWithSubtrees();
+  ASSERT_GE(victim, 0);
+  const std::string path = SubtreePathOwnedBy(victim);
+  const std::size_t held_before = cluster_.server(victim).local().size();
+  ASSERT_GT(held_before, 0u);
+
+  ASSERT_TRUE(cluster_.KillServer(victim));
+  ASSERT_TRUE(cluster_.ReviveServer(victim));  // no adjustment round between
+
+  EXPECT_EQ(cluster_.server(victim).local().size(), held_before);
+  EXPECT_GE(cluster_.recovered_records(), held_before);
+  const auto r = cluster_.Stat(path);
+  EXPECT_EQ(r.status, MdsStatus::kOk);
+  EXPECT_EQ(r.served_by, victim);
+
+  std::string error;
+  EXPECT_TRUE(cluster_.CheckConsistency(&error)) << error;
+  ExpectNoRecordLost(cluster_, workload_.tree.size());
+}
+
+// A freshly added MDS starts with only the GL replica; once the loaded
+// incumbents shed subtrees into the pending pool, mirror division hands
+// the newcomer its capacity share (the paper's "newly added MDS" flow).
+TEST(FailureRecoveryAddServer, AddedServerPullsFromPendingPool) {
+  const Workload w = GenerateWorkload(DtrProfile(0.05));
+  FunctionalCluster cluster(w.tree, 2);
+  for (NodeId id = 0; id < w.tree.size(); id += 2)
+    cluster.Stat(w.tree.PathOf(id));
+
+  const MdsId fresh = cluster.AddServer();
+  EXPECT_EQ(fresh, 2);
+  EXPECT_EQ(cluster.mds_count(), 3u);
+  EXPECT_EQ(cluster.alive_count(), 3u);
+  EXPECT_EQ(cluster.server(fresh).gl_version(), cluster.gl_master_version());
+  EXPECT_EQ(cluster.server(fresh).local().size(), 0u);
+
+  cluster.RunAdjustmentRound();
+  const auto& owners = cluster.scheme().subtree_owners();
+  EXPECT_GT(std::count(owners.begin(), owners.end(), fresh), 0)
+      << "newcomer pulled nothing from the pending pool";
+  EXPECT_GT(cluster.server(fresh).local().size(), 0u);
+
+  std::string error;
+  EXPECT_TRUE(cluster.CheckConsistency(&error)) << error;
+}
+
+// Heartbeat suppression: the Monitor presumes the server failed and
+// drains it, but the server never crashed — records migrate normally
+// (nothing to recover from the backing store) and no client ever fails.
+TEST_F(FailureRecoveryTest, HeartbeatSuppressionDrainsWithoutLoss) {
+  ChargeTraffic(3);
+  const MdsId silent = VictimWithSubtrees();
+  ASSERT_GE(silent, 0);
+  ASSERT_TRUE(cluster_.SetHeartbeatSuppressed(silent, true));
+  EXPECT_TRUE(cluster_.IsServerAlive(silent));  // silent, not dead
+
+  const std::uint64_t recovered_before = cluster_.recovered_records();
+  const std::size_t migrated = cluster_.RunAdjustmentRound();
+  EXPECT_GT(migrated, 0u);
+  EXPECT_EQ(cluster_.recovered_records(), recovered_before)
+      << "drain of a live server must not need backing-store recovery";
+
+  const auto& owners = cluster_.scheme().subtree_owners();
+  EXPECT_EQ(std::count(owners.begin(), owners.end(), silent), 0);
+  EXPECT_EQ(cluster_.server(silent).local().size(), 0u);
+
+  ASSERT_TRUE(cluster_.SetHeartbeatSuppressed(silent, false));
+  EXPECT_FALSE(cluster_.SetHeartbeatSuppressed(99, false));  // out of range
+
+  std::string error;
+  EXPECT_TRUE(cluster_.CheckConsistency(&error)) << error;
+  ExpectNoRecordLost(cluster_, workload_.tree.size());
+}
+
+// The last alive server is the namespace of record — killing it is
+// refused so the cluster can always recover.
+TEST(FailureRecoveryLimits, LastAliveServerCannotBeKilled) {
+  const Workload w = GenerateWorkload(LmbeProfile(0.03));
+  FunctionalCluster cluster(w.tree, 2);
+  EXPECT_TRUE(cluster.KillServer(0));
+  EXPECT_FALSE(cluster.KillServer(1));  // would down the last one
+  EXPECT_TRUE(cluster.IsServerAlive(1));
+  EXPECT_FALSE(cluster.KillServer(0));   // already dead
+  EXPECT_FALSE(cluster.KillServer(77));  // no such server
+
+  std::string error;
+  EXPECT_TRUE(cluster.CheckConsistency(&error)) << error;
+}
+
+// A deterministic schedule drives the same fault sequence through the
+// injector hook points that the concurrent harness uses.
+TEST(FaultInjectorUnit, FiresEventsAtExactOpCounts) {
+  const Workload w = GenerateWorkload(DtrProfile(0.05));
+  FunctionalCluster cluster(w.tree, 3);
+
+  FaultSchedule schedule;
+  schedule.events = {{10, FaultKind::kKill, 1},
+                     {20, FaultKind::kRevive, 1},
+                     {30, FaultKind::kAddServer, -1},
+                     {40, FaultKind::kKill, 99}};  // invalid: skipped
+  FaultInjector injector(cluster, schedule);
+
+  for (int i = 0; i < 9; ++i) injector.OnOp();
+  EXPECT_EQ(injector.fired(), 0u);
+  EXPECT_TRUE(cluster.IsServerAlive(1));
+
+  injector.OnOp();  // op 10: the kill fires
+  EXPECT_EQ(injector.applied(), 1u);
+  EXPECT_FALSE(cluster.IsServerAlive(1));
+
+  for (int i = 0; i < 10; ++i) injector.OnOp();  // op 20: revive
+  EXPECT_TRUE(cluster.IsServerAlive(1));
+
+  for (int i = 0; i < 20; ++i) injector.OnOp();  // ops 30 + 40
+  EXPECT_EQ(cluster.mds_count(), 4u);
+  EXPECT_EQ(injector.applied(), 3u);
+  EXPECT_EQ(injector.skipped(), 1u);
+  EXPECT_EQ(injector.ops_seen(), 40u);
+}
+
+TEST(FaultInjectorUnit, RandomScheduleIsDeterministicAndValid) {
+  FaultMix mix;
+  mix.kills = 2;
+  mix.revives = 1;
+  mix.server_additions = 1;
+  mix.heartbeat_drops = 1;
+  const FaultSchedule a = FaultSchedule::Random(0xFA17, 4, 12'000, mix);
+  const FaultSchedule b = FaultSchedule::Random(0xFA17, 4, 12'000, mix);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_TRUE(a.events == b.events);
+  EXPECT_EQ(a.ToString(), b.ToString());
+
+  // Every mixed-in kind is present, drops pair with resumes, at_ops are
+  // strictly increasing inside the middle of the run.
+  std::size_t kills = 0, revives = 0, adds = 0, drops = 0, resumes = 0;
+  std::size_t prev = 0;
+  for (const FaultEvent& e : a.events) {
+    EXPECT_GT(e.at_op, prev);
+    prev = e.at_op;
+    EXPECT_LT(e.at_op, 12'000u);
+    switch (e.kind) {
+      case FaultKind::kKill: ++kills; break;
+      case FaultKind::kRevive: ++revives; break;
+      case FaultKind::kAddServer: ++adds; break;
+      case FaultKind::kDropHeartbeats: ++drops; break;
+      case FaultKind::kResumeHeartbeats: ++resumes; break;
+    }
+  }
+  EXPECT_EQ(kills, 2u);
+  EXPECT_EQ(revives, 1u);
+  EXPECT_EQ(adds, 1u);
+  EXPECT_EQ(drops, 1u);
+  EXPECT_EQ(resumes, drops);
+
+  const FaultSchedule c = FaultSchedule::Random(0xFA18, 4, 12'000, mix);
+  EXPECT_FALSE(a.events == c.events);  // seed actually matters
+}
+
+// Property sweep: random tree shapes and random kill sets. After one
+// adjustment round no subtree may be owned by a dead server, the record
+// count is conserved, and the audit holds — for every shape and seed.
+TEST(FailureRecoveryProperty, RandomKillSetsLeaveNoOrphans) {
+  constexpr int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(0xDEAD0000ULL + static_cast<std::uint64_t>(trial));
+    SyntheticTreeConfig cfg;
+    cfg.node_count = 100 + rng.NextBounded(400);
+    cfg.max_depth = 4 + static_cast<std::uint32_t>(rng.NextBounded(10));
+    cfg.dir_ratio = 0.2 + 0.3 * rng.NextDouble();
+    cfg.depth_bias = 0.6 * rng.NextDouble();
+    cfg.root_fanout = 4 + static_cast<std::uint32_t>(rng.NextBounded(24));
+    NamespaceTree tree = BuildSyntheticTree(cfg, rng);
+    for (NodeId id = 0; id < tree.size(); ++id)
+      tree.AddAccess(id, rng.NextExponential(5.0));
+    tree.RecomputeSubtreePopularity();
+
+    const std::size_t m = 3 + rng.NextBounded(4);  // 3..6 servers
+    FunctionalCluster cluster(tree, m);
+    for (NodeId id = 0; id < tree.size(); id += 5)
+      cluster.Stat(tree.PathOf(id));
+
+    // Kill a random nonempty set, never the whole cluster.
+    const std::size_t kill_count = 1 + rng.NextBounded(m - 1);
+    std::vector<bool> dead(m, false);
+    for (std::size_t i = 0; i < kill_count; ++i) {
+      const MdsId victim = static_cast<MdsId>(rng.NextBounded(m));
+      if (!dead[victim] && cluster.KillServer(victim)) dead[victim] = true;
+    }
+
+    cluster.RunAdjustmentRound();
+
+    const auto& owners = cluster.scheme().subtree_owners();
+    for (const MdsId o : owners)
+      ASSERT_TRUE(cluster.IsServerAlive(o))
+          << "trial " << trial << ": subtree still owned by dead MDS " << o;
+    std::string error;
+    ASSERT_TRUE(cluster.CheckConsistency(&error))
+        << "trial " << trial << ": " << error;
+    const std::size_t gl = cluster.scheme().split().global_layer.size();
+    ASSERT_EQ(AliveLocalRecords(cluster), tree.size() - gl)
+        << "trial " << trial << ": records lost or duplicated";
+  }
+}
+
+}  // namespace
+}  // namespace d2tree

@@ -253,6 +253,21 @@ TEST(MdsStatusNames, AllNamed) {
   EXPECT_STREQ(MdsStatusName(MdsStatus::kNotFound), "not-found");
   EXPECT_STREQ(MdsStatusName(MdsStatus::kNotPermitted), "not-permitted");
   EXPECT_STREQ(MdsStatusName(MdsStatus::kWrongServer), "wrong-server");
+  EXPECT_STREQ(MdsStatusName(MdsStatus::kUnavailable), "unavailable");
+}
+
+// Regression: StatVia with an out-of-range entry server used to index
+// servers_ unchecked; it must instead fail cleanly as "no such server".
+TEST_F(FunctionalClusterTest, StatViaOutOfRangeServerFailsCleanly) {
+  const std::string path = workload_.tree.PathOf(0);
+  for (const MdsId via : {static_cast<MdsId>(99), static_cast<MdsId>(-5),
+                          static_cast<MdsId>(cluster_.mds_count())}) {
+    const auto r = cluster_.StatVia(path, via);
+    EXPECT_EQ(r.status, MdsStatus::kUnavailable) << "via=" << via;
+    EXPECT_EQ(r.hops, 0) << "via=" << via;
+  }
+  // The cluster is untouched: a normal Stat still succeeds.
+  EXPECT_EQ(cluster_.Stat(path).status, MdsStatus::kOk);
 }
 
 }  // namespace
