@@ -3,13 +3,21 @@
 // subtrees underneath them, then the consistency audit has the last word.
 //
 //   example_concurrent_replay [mds] [threads] [ops/thread] [theta] [upd-frac]
+//                             [transport]
+//
+// transport = inproc (default: zero-latency direct delivery) or simnet
+// (seeded per-link latency model — per-op-class latency percentiles become
+// meaningful).
 //
 // This is the binary to run under the sanitizer presets
 // (-DD2TREE_SANITIZE=thread|address) — see EXPERIMENTS.md.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 
 #include "d2tree/mds/cluster.h"
+#include "d2tree/net/simnet.h"
 #include "d2tree/sim/concurrent_replay.h"
 #include "d2tree/trace/profiles.h"
 
@@ -21,7 +29,7 @@ namespace {
   std::fprintf(stderr,
                "invalid argument: %s\n"
                "usage: example_concurrent_replay [mds >= 1] [threads] "
-               "[ops/thread] [theta] [upd-frac 0..1]\n",
+               "[ops/thread] [theta] [upd-frac 0..1] [inproc|simnet]\n",
                bad);
   std::exit(2);
 }
@@ -50,14 +58,24 @@ int main(int argc, char** argv) {
   if (argc > 3) cfg.ops_per_thread = ParseCount(argv[3], /*allow_zero=*/true);
   if (argc > 4) cfg.zipf_theta = ParseFraction(argv[4], 0.0, 10.0);
   if (argc > 5) cfg.update_fraction = ParseFraction(argv[5], 0.0, 1.0);
+  bool simnet = false;
+  if (argc > 6) {
+    if (std::strcmp(argv[6], "simnet") == 0)
+      simnet = true;
+    else if (std::strcmp(argv[6], "inproc") != 0)
+      Usage(argv[6]);
+  }
 
   const Workload w = GenerateWorkload(LmbeProfile(0.1));
-  FunctionalCluster cluster(w.tree, mds_count);
+  std::shared_ptr<Transport> transport;
+  if (simnet) transport = std::make_shared<SimNetTransport>();
+  FunctionalCluster cluster(w.tree, mds_count, {}, transport);
   std::printf(
       "Concurrent replay: %zu MDSs, %zu client threads x %zu ops "
-      "(zipf %.2f, %.0f%% updates, %.0f%% stale entries)\n",
+      "(zipf %.2f, %.0f%% updates, %.0f%% stale entries, %s transport)\n",
       mds_count, cfg.thread_count, cfg.ops_per_thread, cfg.zipf_theta,
-      100 * cfg.update_fraction, 100 * cfg.stale_entry_fraction);
+      100 * cfg.update_fraction, 100 * cfg.stale_entry_fraction,
+      simnet ? "simnet" : "inproc");
   std::printf("Namespace: %s, %zu nodes, GL %zu nodes\n", w.name.c_str(),
               w.tree.size(), cluster.scheme().split().global_layer.size());
 
@@ -80,6 +98,24 @@ int main(int argc, char** argv) {
               r.throughput_ops_per_sec);
   std::printf("  latency     : mean %.1f µs, p99 %.1f µs\n", r.latency.mean(),
               r.latency.Quantile(0.99));
+  std::printf("  messages    : %lu sent, %lu dropped, %lu heartbeats lost\n",
+              static_cast<unsigned long>(r.messages_sent),
+              static_cast<unsigned long>(r.messages_dropped),
+              static_cast<unsigned long>(r.heartbeats_lost));
+  std::printf("\nSimulated network latency by op class (µs):\n");
+  for (std::size_t c = 0; c < kOpClassCount; ++c) {
+    const LatencyHistogram& h = r.class_latency[c];
+    if (h.count() == 0) {
+      std::printf("  %-10s:       no ops\n",
+                  OpClassName(static_cast<OpClass>(c)));
+      continue;
+    }
+    std::printf("  %-10s: %7lu ops  mean=%7.1f p50=%7.1f p99=%8.1f\n",
+                OpClassName(static_cast<OpClass>(c)),
+                static_cast<unsigned long>(h.count()), h.mean(),
+                h.Quantile(0.5), h.Quantile(0.99));
+  }
+  std::printf("\n");
   std::printf("  forwards    : %lu (server-side)\n",
               static_cast<unsigned long>(r.forwards));
   std::printf("  GL updates  : %lu, lock wait %.3f s total\n",

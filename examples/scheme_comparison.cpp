@@ -4,6 +4,7 @@
 // story: subtree schemes keep locality, hash schemes keep balance, D2-Tree
 // keeps both.
 #include <cstdio>
+#include <vector>
 
 #include "d2tree/baselines/registry.h"
 #include "d2tree/metrics/metrics.h"
@@ -20,14 +21,37 @@ int main(int argc, char** argv) {
 
   std::printf("%-16s %12s %12s %12s %12s %12s\n", "scheme", "locality",
               "balance", "update-cost", "throughput", "p99 (ms)");
+  std::vector<SchemeRunResult> results;
   for (const auto& id : AllSchemeIds()) {
     ExperimentOptions opt;
     opt.adjustment_rounds = 10;
     opt.sim.max_ops = 40'000;
-    const SchemeRunResult r = RunSchemeExperiment(id, w, m, opt);
+    results.push_back(RunSchemeExperiment(id, w, m, opt));
+    const SchemeRunResult& r = results.back();
     std::printf("%-16s %12.3e %12.3e %12.0f %12.0f %12.3f\n",
                 r.scheme.c_str(), r.locality, r.balance, r.update_cost,
                 r.throughput, r.p99_latency * 1e3);
+  }
+
+  std::printf("\nLatency by op class (µs, p50/p99; - = no ops in class):\n");
+  std::printf("%-16s", "scheme");
+  for (std::size_t c = 0; c < kOpClassCount; ++c)
+    std::printf(" %20s", OpClassName(static_cast<OpClass>(c)));
+  std::printf("\n");
+  for (const SchemeRunResult& r : results) {
+    std::printf("%-16s", r.scheme.c_str());
+    for (std::size_t c = 0; c < kOpClassCount; ++c) {
+      const LatencyHistogram& h = r.class_latency[c];
+      if (h.count() == 0) {
+        std::printf(" %20s", "-");
+      } else {
+        char cell[32];
+        std::snprintf(cell, sizeof(cell), "%.0f/%.0f", h.Quantile(0.5),
+                      h.Quantile(0.99));
+        std::printf(" %20s", cell);
+      }
+    }
+    std::printf("\n");
   }
 
   std::printf(

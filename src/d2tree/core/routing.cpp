@@ -1,0 +1,19 @@
+#include "d2tree/core/routing.h"
+
+namespace d2tree {
+
+RouteDecision DecideRoute(const NamespaceTree& tree, const LocalIndex& index,
+                          NodeId target) {
+  return RouteDecision{index.Route(tree, target)};
+}
+
+MdsId ChooseEntry(const RouteDecision& route, std::size_t mds_count,
+                  double stale_prob, Rng& rng) {
+  if (route.gl_resident())
+    return static_cast<MdsId>(rng.NextBounded(mds_count));
+  if (stale_prob > 0.0 && rng.NextBool(stale_prob))
+    return static_cast<MdsId>(rng.NextBounded(mds_count));
+  return *route.owner;
+}
+
+}  // namespace d2tree

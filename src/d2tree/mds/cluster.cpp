@@ -5,14 +5,20 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "d2tree/core/routing.h"
+
 namespace d2tree {
 
 FunctionalCluster::FunctionalCluster(const NamespaceTree& tree,
                                      std::size_t mds_count,
-                                     D2TreeConfig config)
+                                     D2TreeConfig config,
+                                     std::shared_ptr<Transport> transport)
     : tree_(tree),
       capacities_(MdsCluster::Homogeneous(mds_count)),
-      scheme_(std::move(config)) {
+      scheme_(std::move(config)),
+      transport_(transport != nullptr
+                     ? std::move(transport)
+                     : std::make_shared<InProcessTransport>()) {
   assert(mds_count > 0);
   assignment_ = scheme_.Partition(tree_, capacities_);
   servers_.reserve(mds_count);
@@ -48,11 +54,23 @@ std::size_t FunctionalCluster::AliveCountLocked() const {
   return n;
 }
 
-MdsCluster FunctionalCluster::EffectiveCapacities() const {
+MdsCluster FunctionalCluster::CollectHeartbeats() {
   MdsCluster effective = capacities_;
+  const Message hb{.type = MsgType::kHeartbeat};
   for (std::size_t k = 0; k < servers_.size(); ++k) {
-    if (!servers_[k]->alive() || servers_[k]->heartbeats_suppressed())
+    if (!servers_[k]->alive() || servers_[k]->heartbeats_suppressed()) {
+      effective.capacities[k] = 0.0;  // dead/silenced servers send nothing
+      continue;
+    }
+    // Heartbeats are deliberately one-try: their *absence* is the failure
+    // signal, so a retransmitting sender would defeat the detector.
+    const Delivery d = transport_->Send(MdsAddress(static_cast<MdsId>(k)),
+                                        MonitorAddress(), hb);
+    AccountControl(d);
+    if (!d.delivered) {
       effective.capacities[k] = 0.0;
+      heartbeats_lost_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return effective;
 }
@@ -97,14 +115,26 @@ void FunctionalCluster::RebuildGlReplicaLocked(MdsId mds) {
       break;
     }
   }
+  Message rebuild{.type = MsgType::kGlCommit};
   if (donor != nullptr) {
-    replica.InsertAll(donor->global_replica().Snapshot());
+    const auto snapshot = donor->global_replica().Snapshot();
+    rebuild.payload_records = snapshot.size();
+    replica.InsertAll(snapshot);
   } else {
     // No live replica to copy from: re-materialize from the backing store
     // (update history is lost, but the namespace itself is durable).
-    for (NodeId id = 0; id < tree_.size(); ++id)
-      if (assignment_.IsReplicated(id)) replica.Put(MakeRecord(id));
+    for (NodeId id = 0; id < tree_.size(); ++id) {
+      if (!assignment_.IsReplicated(id)) continue;
+      replica.Put(MakeRecord(id));
+      ++rebuild.payload_records;
+    }
   }
+  // The bulk transfer rides the wire (donor replica, else the Monitor's
+  // backing store); the rebuild itself is fenced by the placement epoch,
+  // so an undeliverable leg only loses the latency, not the data.
+  AccountControl(transport_->SendReliable(
+      donor != nullptr ? MdsAddress(donor->id()) : MonitorAddress(),
+      MdsAddress(mds), rebuild));
   servers_[mds]->set_gl_version(master);
 }
 
@@ -114,22 +144,37 @@ FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
   const auto ancestors = tree_.AncestorsOf(target);
   out.hops = 1;
   out.served_by = at;
+  bool failed_over = false;
 
-  if (!AliveLocked(at)) {
-    // The contact failed: the client invalidates its cached route and
-    // retries once against the authoritative placement (bounded failover).
+  const Message req{.type = MsgType::kStatRequest, .target = target};
+  Delivery d = transport_->Send(ClientAddress(), MdsAddress(at), req);
+  out.sim_latency_us += d.latency_us;
+  if (!d.delivered || !AliveLocked(at)) {
+    // The contact failed — dead server, or the request leg was lost: the
+    // client invalidates its cached route and retries once against the
+    // authoritative placement (bounded failover).
     failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+    failed_over = true;
     const MdsId owner = assignment_.OwnerOf(target);
     const MdsId retry = owner == kReplicated ? AnyAliveLocked() : owner;
-    if (retry == at || !AliveLocked(retry)) {
+    if (!AliveLocked(retry)) {
       // The authoritative owner is down too: nobody can answer until an
       // adjustment round re-places the orphaned subtree.
       out.status = MdsStatus::kUnavailable;
+      out.op_class = OpClass::kFailover;
       return out;
     }
     at = retry;
     out.hops = 2;
     out.served_by = at;
+    d = transport_->Send(ClientAddress(), MdsAddress(at), req);
+    out.sim_latency_us += d.latency_us;
+    if (!d.delivered) {
+      // One failover is the bound — a second lost leg means the op fails.
+      out.status = MdsStatus::kUnavailable;
+      out.op_class = OpClass::kFailover;
+      return out;
+    }
   }
 
   MdsOpResult r = servers_[at]->Stat(target, ancestors);
@@ -141,18 +186,50 @@ FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
     const MdsId retry = owner == kReplicated ? at : owner;
     if (retry != at) {
       ++out.hops;
+      ++out.jumps;
       out.served_by = retry;
       if (!AliveLocked(retry)) {
         // Owner crashed and its subtree has not been re-placed yet.
         failover_redirects_.fetch_add(1, std::memory_order_relaxed);
         out.status = MdsStatus::kUnavailable;
+        out.op_class = OpClass::kFailover;
+        return out;
+      }
+      const Message fwd{.type = MsgType::kForward, .target = target};
+      const Delivery leg =
+          transport_->Send(MdsAddress(at), MdsAddress(retry), fwd);
+      out.sim_latency_us += leg.latency_us;
+      if (!leg.delivered) {
+        // The forward was lost between servers; the client times out and
+        // gives up (its next attempt would go straight to the owner).
+        failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+        out.status = MdsStatus::kUnavailable;
+        out.op_class = OpClass::kFailover;
         return out;
       }
       r = servers_[retry]->Stat(target, ancestors);
     }
   }
+
+  const Message resp{
+      .type = MsgType::kStatResponse, .target = target, .status = r.status};
+  const Delivery back =
+      transport_->Send(MdsAddress(out.served_by), ClientAddress(), resp);
+  out.sim_latency_us += back.latency_us;
+  if (!back.delivered) {
+    // Answer computed but the response leg was lost: to the client this is
+    // a timeout — it invalidates its cached route like any failover.
+    failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+    out.status = MdsStatus::kUnavailable;
+    out.op_class = OpClass::kFailover;
+    return out;
+  }
   out.status = r.status;
   out.record = r.record;
+  out.op_class = failed_over                        ? OpClass::kFailover
+                 : assignment_.IsReplicated(target) ? OpClass::kGlHit
+                 : out.jumps == 0                   ? OpClass::kLl0Jump
+                                                    : OpClass::kLl1Jump;
   return out;
 }
 
@@ -168,11 +245,12 @@ FunctionalCluster::ClientResult FunctionalCluster::Stat(
     entropy = rng_();
   }
   std::shared_lock topo(topo_mu_);
-  const auto owner = scheme_.local_index().Route(tree_, target);
-  // Fallback for GL-resident targets: any server (picked under the
-  // placement lock, since AddServer may grow the cluster concurrently).
+  const RouteDecision route =
+      DecideRoute(tree_, scheme_.local_index(), target);
+  // Entry for GL-resident targets: any server (picked under the placement
+  // lock, since AddServer may grow the cluster concurrently).
   const MdsId fallback = static_cast<MdsId>(entropy % servers_.size());
-  return StatAt(target, owner.value_or(fallback));
+  return StatAt(target, route.owner.value_or(fallback));
 }
 
 FunctionalCluster::ClientResult FunctionalCluster::StatVia(
@@ -191,6 +269,7 @@ FunctionalCluster::ClientResult FunctionalCluster::StatVia(
     out.status = MdsStatus::kUnavailable;
     out.served_by = via;
     out.hops = 0;  // nothing was contacted
+    out.op_class = OpClass::kFailover;
     return out;
   }
   return StatAt(target, via);
@@ -210,7 +289,8 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
   }
 
   std::shared_lock topo(topo_mu_);
-  if (assignment_.IsReplicated(target)) {
+  const RouteDecision route = DecideRoute(tree_, scheme_.local_index(), target);
+  if (route.gl_resident()) {
     // Global-layer update: lock, bump the master version, write every
     // live replica before acking (Sec. IV-A3); dead replicas catch up via
     // the rebuild at revive. The wait for the lock is the live-cluster
@@ -222,39 +302,107 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
             std::chrono::steady_clock::now() - t0)
             .count(),
         std::memory_order_relaxed);
-    const MdsId replica = AnyAliveLocked();
-    if (replica < 0) {
+    const MdsId coord = AnyAliveLocked();
+    if (coord < 0) {
       out.status = MdsStatus::kUnavailable;
       return out;
     }
+    out.served_by = coord;  // the coordinating replica answers
+    const Message req{
+        .type = MsgType::kUpdateRequest, .target = target, .mtime = mtime};
+    const Delivery d =
+        transport_->Send(ClientAddress(), MdsAddress(coord), req);
+    out.sim_latency_us += d.latency_us;
+    if (!d.delivered) {
+      failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+      out.status = MdsStatus::kUnavailable;
+      out.op_class = OpClass::kFailover;
+      return out;
+    }
+    // Write-lock round with the Monitor's lock service (Sec. IV-A3).
+    const Message lock_msg{.type = MsgType::kGlWriteLock, .target = target};
+    const Delivery lock_req = transport_->SendReliable(
+        MdsAddress(coord), MonitorAddress(), lock_msg);
+    const Delivery lock_grant = transport_->SendReliable(
+        MonitorAddress(), MdsAddress(coord), lock_msg);
+    out.sim_latency_us += lock_req.latency_us + lock_grant.latency_us;
     const std::uint64_t version =
         gl_master_version_.load(std::memory_order_relaxed) + 1;
     gl_master_version_.store(version, std::memory_order_release);
+    const Message commit{.type = MsgType::kGlCommit,
+                         .target = target,
+                         .mtime = mtime,
+                         .payload_records = 1};
+    double broadcast_us = 0.0;
     for (auto& server : servers_) {
       if (!server->alive()) continue;
+      if (server->id() != coord) {
+        // Replica legs fan out concurrently; the ack the coordinator waits
+        // for is the slowest one. A leg a partition defeats is fenced by
+        // the version and caught up by the rebuild sweep.
+        const Delivery leg = transport_->SendReliable(
+            MdsAddress(coord), MdsAddress(server->id()), commit);
+        broadcast_us = std::max(broadcast_us, leg.latency_us);
+      }
       server->global_replica().Mutate(target, mtime);
       server->set_gl_version(version);
     }
+    out.sim_latency_us += broadcast_us;
     ++gl_updates_;
+    out.record = *servers_[coord]->global_replica().Get(target);
+    const Message resp{.type = MsgType::kUpdateResponse,
+                       .target = target,
+                       .status = MdsStatus::kOk};
+    const Delivery back =
+        transport_->Send(MdsAddress(coord), ClientAddress(), resp);
+    out.sim_latency_us += back.latency_us;
+    if (!back.delivered) {
+      // Committed but unacknowledged: the client sees a timeout.
+      failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+      out.status = MdsStatus::kUnavailable;
+      out.op_class = OpClass::kFailover;
+      return out;
+    }
     out.status = MdsStatus::kOk;
-    out.served_by = replica;  // any live replica can answer
-    out.record = *servers_[replica]->global_replica().Get(target);
+    out.op_class = OpClass::kGlHit;
     return out;
   }
 
-  const MdsId owner = assignment_.OwnerOf(target);
+  const MdsId owner = *route.owner;
+  out.served_by = owner;
   if (!AliveLocked(owner)) {
     // Writes have a single authority; with the owner down the client can
     // only invalidate its cache and report the outage.
     failover_redirects_.fetch_add(1, std::memory_order_relaxed);
     out.status = MdsStatus::kUnavailable;
-    out.served_by = owner;
+    out.op_class = OpClass::kFailover;
+    return out;
+  }
+  const Message req{
+      .type = MsgType::kUpdateRequest, .target = target, .mtime = mtime};
+  const Delivery d = transport_->Send(ClientAddress(), MdsAddress(owner), req);
+  out.sim_latency_us += d.latency_us;
+  if (!d.delivered) {
+    failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+    out.status = MdsStatus::kUnavailable;
+    out.op_class = OpClass::kFailover;
     return out;
   }
   const MdsOpResult r = servers_[owner]->UpdateLocal(target, ancestors, mtime);
+  const Message resp{
+      .type = MsgType::kUpdateResponse, .target = target, .status = r.status};
+  const Delivery back =
+      transport_->Send(MdsAddress(owner), ClientAddress(), resp);
+  out.sim_latency_us += back.latency_us;
+  if (!back.delivered) {
+    failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+    out.status = MdsStatus::kUnavailable;
+    out.op_class = OpClass::kFailover;
+    return out;
+  }
   out.status = r.status;
   out.record = r.record;
-  out.served_by = owner;
+  out.op_class = OpClass::kLl0Jump;
   return out;
 }
 
@@ -317,6 +465,22 @@ bool FunctionalCluster::SetHeartbeatSuppressed(MdsId mds, bool suppressed) {
   return true;
 }
 
+bool FunctionalCluster::SetClientLinkDrop(MdsId mds, double probability) {
+  std::unique_lock topo(topo_mu_);
+  if (mds < 0 || static_cast<std::size_t>(mds) >= servers_.size())
+    return false;
+  return transport_->SetLinkDropRate(ClientAddress(), MdsAddress(mds),
+                                     probability);
+}
+
+bool FunctionalCluster::SetMonitorPartition(MdsId mds, bool partitioned) {
+  std::unique_lock topo(topo_mu_);
+  if (mds < 0 || static_cast<std::size_t>(mds) >= servers_.size())
+    return false;
+  return transport_->SetPartitioned(MonitorAddress(), MdsAddress(mds),
+                                    partitioned);
+}
+
 std::size_t FunctionalCluster::RunAdjustmentRound() {
   // Freeze popularity charging, then enter an exclusive placement epoch:
   // no client routes or touches a store while records are in flight
@@ -336,7 +500,7 @@ std::size_t FunctionalCluster::RunAdjustmentRound() {
         RebuildGlReplicaLocked(server->id());
   }
 
-  const MdsCluster effective = EffectiveCapacities();
+  const MdsCluster effective = CollectHeartbeats();
   if (effective.TotalCapacity() <= 0.0) return 0;  // nobody can take load
 
   tree_.RecomputeSubtreePopularity();
@@ -371,6 +535,21 @@ std::size_t FunctionalCluster::RunAdjustmentRound() {
                                    std::memory_order_relaxed);
     }
     moved_records += records.size();
+    // The migration is a pending-pool round trip (Sec. IV-B): the donor
+    // pushes the subtree into the pool, the Monitor grants it to the
+    // puller. The physical move is fenced by the exclusive placement
+    // epoch, so an unreachable donor (crashed, or Monitor⇄MDS partition)
+    // still drains — its lost records were just recovered above, exactly
+    // as for a heartbeat-silent server.
+    Message push{.type = MsgType::kPendingPoolPush,
+                 .target = subtrees[i].root,
+                 .payload_records = records.size()};
+    if (AliveLocked(from))
+      AccountControl(
+          transport_->SendReliable(MdsAddress(from), MonitorAddress(), push));
+    push.type = MsgType::kPendingPoolPull;
+    AccountControl(
+        transport_->SendReliable(MonitorAddress(), MdsAddress(to), push));
     servers_[to]->local().InsertAll(records);
   }
   assignment_ = plan.assignment;

@@ -8,6 +8,23 @@
 // moving records between stores. A consistency auditor verifies the
 // cluster invariants after any sequence of operations.
 //
+// Message path: every client/MDS/Monitor interaction travels as a typed
+// message (net/message.h) over an injected Transport. The class splits
+// into a *client-side stub* — Stat/StatVia/Update route via the shared
+// local-index helper (core/routing.h), send kStatRequest/kUpdateRequest/
+// kForward legs and accumulate per-op simulated latency and jump counts
+// into ClientResult — and a *server-side handler* (ServeStat/ServeUpdate)
+// that services delivered requests against the MdsServer stores.
+// Heartbeats (kHeartbeat), pending-pool migrations (kPendingPoolPush/
+// kPendingPoolPull) and the global-layer lock + commit broadcast
+// (kGlWriteLock/kGlCommit) ride the same wire. On InProcessTransport
+// (the default) every leg is free and delivered, reproducing the
+// pre-message-layer behavior exactly; on SimNetTransport the jump counts
+// of the paper become latency distributions and the network is a fault
+// surface: a dropped client⇄MDS leg triggers the same bounded failover as
+// a dead server (counted in failover_redirects()), and a Monitor⇄MDS
+// partition suppresses heartbeats so adjustment rounds drain the server.
+//
 // Failure semantics (Sec. IV-A3/IV-B "owners out of range → pending
 // pool", executed for real): KillServer crashes an MDS — it stops
 // answering (clients see MdsStatus::kUnavailable, invalidate their cached
@@ -55,6 +72,8 @@
 
 #include "d2tree/core/d2tree.h"
 #include "d2tree/mds/server.h"
+#include "d2tree/metrics/metrics.h"
+#include "d2tree/net/transport.h"
 #include "d2tree/nstree/tree.h"
 
 namespace d2tree {
@@ -62,9 +81,12 @@ namespace d2tree {
 class FunctionalCluster {
  public:
   /// Partitions `tree` (popularity must be charged) across `mds_count`
-  /// servers and loads every record into the right stores.
+  /// servers and loads every record into the right stores. Messages travel
+  /// over `transport` (nullptr → a private InProcessTransport: zero
+  /// latency, no loss — the classic direct-call behavior).
   FunctionalCluster(const NamespaceTree& tree, std::size_t mds_count,
-                    D2TreeConfig config = {});
+                    D2TreeConfig config = {},
+                    std::shared_ptr<Transport> transport = nullptr);
 
   /// Total servers ever part of the cluster (dead ones included).
   std::size_t mds_count() const;
@@ -79,7 +101,12 @@ class FunctionalCluster {
     MdsStatus status = MdsStatus::kNotFound;
     InodeRecord record;
     MdsId served_by = -1;
-    int hops = 1;  // servers contacted
+    int hops = 1;   // servers contacted (failover retries included)
+    int jumps = 0;  // server→server forwards (Def. 1; D2-Tree bound: ≤ 1)
+    /// Accumulated simulated network latency of every message leg this op
+    /// paid, µs (0 on InProcessTransport).
+    double sim_latency_us = 0.0;
+    OpClass op_class = OpClass::kGlHit;
   };
 
   /// Client read (Sec. IV-A2): consult the cached local index; a hit goes
@@ -124,6 +151,18 @@ class FunctionalCluster {
   /// (missed heartbeats ⇒ presumed failed), so adjustment rounds drain
   /// it; it keeps serving what it still owns. False if out of range.
   bool SetHeartbeatSuppressed(MdsId mds, bool suppressed);
+
+  /// Network faults (need a transport that models a network — false on
+  /// InProcessTransport, so scheduled events are counted as skipped).
+  /// Sets the drop probability of the client⇄`mds` link; while > 0,
+  /// requests and responses are lost at that rate and clients pay the
+  /// bounded failover path.
+  bool SetClientLinkDrop(MdsId mds, double probability);
+  /// Cuts (or heals) the Monitor⇄`mds` link. While partitioned the
+  /// server's heartbeats never arrive, so adjustment rounds treat it as
+  /// failed and drain it — exactly like SetHeartbeatSuppressed, but
+  /// imposed by the network rather than the server.
+  bool SetMonitorPartition(MdsId mds, bool partitioned);
 
   bool IsServerAlive(MdsId mds) const;
 
@@ -174,11 +213,35 @@ class FunctionalCluster {
     return recovered_records_.load();
   }
 
+  /// The message layer everything above rides on.
+  Transport& transport() noexcept { return *transport_; }
+  const Transport& transport() const noexcept { return *transport_; }
+
+  /// Heartbeats that never reached the Monitor (dropped or partitioned
+  /// link) — each one makes an adjustment round treat its sender as
+  /// failed.
+  std::uint64_t heartbeats_lost() const noexcept {
+    return heartbeats_lost_.load();
+  }
+  /// Simulated latency of control-plane traffic (heartbeats, pending-pool
+  /// push/pull, replica rebuilds), µs — kept separate from the per-op
+  /// client latency in ClientResult.
+  double control_latency_us() const noexcept {
+    return static_cast<double>(control_ns_.load()) * 1e-3;
+  }
+
  private:
   InodeRecord MakeRecord(NodeId id) const;
   void Materialize();
-  /// Access logic against live stores; caller must hold topo_mu_ (shared).
+  /// Client-side stub: sends the request leg(s) for `target` entering at
+  /// `at`, drives the server-side handler, pays forward/failover legs and
+  /// fills the per-op telemetry. Caller must hold topo_mu_ (shared).
   ClientResult StatAt(NodeId target, MdsId at);
+  /// Accounts one control-plane leg (heartbeat/migration/rebuild traffic).
+  void AccountControl(const Delivery& d) noexcept {
+    control_ns_.fetch_add(static_cast<std::uint64_t>(d.latency_us * 1e3),
+                          std::memory_order_relaxed);
+  }
   /// Liveness check; caller must hold topo_mu_ (shared or exclusive).
   bool AliveLocked(MdsId mds) const {
     return mds >= 0 && static_cast<std::size_t>(mds) < servers_.size() &&
@@ -186,9 +249,12 @@ class FunctionalCluster {
   }
   MdsId AnyAliveLocked() const;
   std::size_t AliveCountLocked() const;
-  /// Capacities the Monitor plans with: 0 for dead or heartbeat-silent
-  /// servers. Caller must hold topo_mu_.
-  MdsCluster EffectiveCapacities() const;
+  /// Capacities the Monitor plans with, derived from one heartbeat round
+  /// *as messages*: dead and suppressed servers send nothing; a heartbeat
+  /// lost on the wire (drop or Monitor⇄MDS partition) silences its sender
+  /// just the same — either way the Monitor plans with capacity 0 and the
+  /// server drains. Caller must hold topo_mu_ exclusively.
+  MdsCluster CollectHeartbeats();
   /// Re-fills `mds`'s GL replica at the master version. Caller must hold
   /// topo_mu_ exclusively and gl_mu_.
   void RebuildGlReplicaLocked(MdsId mds);
@@ -198,6 +264,7 @@ class FunctionalCluster {
   D2TreeScheme scheme_;
   Assignment assignment_;
   std::vector<std::unique_ptr<MdsServer>> servers_;
+  std::shared_ptr<Transport> transport_;
 
   /// Placement epoch lock (see threading contract above).
   mutable std::shared_mutex topo_mu_;
@@ -209,6 +276,8 @@ class FunctionalCluster {
   std::atomic<std::uint64_t> adjustment_rounds_{0};
   std::atomic<std::uint64_t> failover_redirects_{0};
   std::atomic<std::uint64_t> recovered_records_{0};
+  std::atomic<std::uint64_t> heartbeats_lost_{0};
+  std::atomic<std::uint64_t> control_ns_{0};
   /// Guards the client-side bookkeeping (popularity charging, rng) so
   /// multiple client threads can drive the cluster concurrently; server
   /// stores have their own locks.

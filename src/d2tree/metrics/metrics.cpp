@@ -7,6 +7,20 @@
 
 namespace d2tree {
 
+const char* OpClassName(OpClass c) {
+  switch (c) {
+    case OpClass::kGlHit:
+      return "GL hit";
+    case OpClass::kLl0Jump:
+      return "LL 0-jump";
+    case OpClass::kLl1Jump:
+      return "LL 1-jump";
+    case OpClass::kFailover:
+      return "failover";
+  }
+  return "?";
+}
+
 std::size_t LatencyHistogram::BucketOf(double micros) noexcept {
   if (micros < 1.0) return 0;
   const int exp = std::ilogb(micros);  // floor(log2) for micros >= 1

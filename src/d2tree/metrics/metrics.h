@@ -42,6 +42,20 @@ class LatencyHistogram {
   double max_ = 0.0;
 };
 
+/// Classification of one client operation by how it routed — the paper's
+/// headline claim is precisely the shape of this distribution: GL hits
+/// resolve at any replica (0 jumps), LL hits at the owner (0 jumps) or
+/// after one forward on a stale index (1 jump), and only failures force a
+/// failover retry. Latency percentiles are reported per class.
+enum class OpClass : std::uint8_t {
+  kGlHit = 0,  // target in the replicated global layer, served on entry
+  kLl0Jump,    // local-layer target, entry server was the owner
+  kLl1Jump,    // local-layer target, one forward to the owner
+  kFailover,   // dead/unreachable server forced a failover retry
+};
+inline constexpr std::size_t kOpClassCount = 4;
+const char* OpClassName(OpClass c);
+
 /// Number of jumps jp_j (Def. 1) incurred when accessing node `target`:
 /// transitions between consecutive nodes of the root→target path that live
 /// on different MDSs. Replicated nodes never force a jump — the serving MDS

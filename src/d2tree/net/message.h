@@ -1,0 +1,67 @@
+// Typed messages of the metadata service (the explicit message path).
+//
+// Every interaction the paper describes between clients, MDSs and the
+// Monitor — Sec. IV-A2 access logic, Sec. IV-A3 global-layer updates,
+// Sec. IV-B heartbeats and pending-pool migrations — is carried as one of
+// the message types below over a Transport (net/transport.h). The
+// in-process cluster used to model these as direct C++ calls, so jumps
+// were merely counted; with an explicit message layer each hop accrues
+// simulated latency and the network itself becomes a fault surface
+// (drops, partitions) the fault injector can target.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "d2tree/mds/inode.h"
+#include "d2tree/partition/partition.h"
+
+namespace d2tree {
+
+/// The three peer roles of the system. Clients are modelled as one logical
+/// endpoint (the harness's threads share the client-side stub), the
+/// Monitor doubles as the ZooKeeper-style lock service (Sec. IV-A3).
+enum class PeerKind : std::uint8_t { kClient = 0, kMds, kMonitor };
+
+/// A network endpoint: a role plus (for MDSs) the server id.
+struct Address {
+  PeerKind kind = PeerKind::kClient;
+  MdsId id = 0;  // meaningful for kMds only
+
+  bool operator==(const Address&) const = default;
+};
+
+constexpr Address ClientAddress() noexcept { return {PeerKind::kClient, 0}; }
+constexpr Address MonitorAddress() noexcept { return {PeerKind::kMonitor, 0}; }
+constexpr Address MdsAddress(MdsId id) noexcept {
+  return {PeerKind::kMds, id};
+}
+
+enum class MsgType : std::uint8_t {
+  kStatRequest = 0,  // client → MDS: read `target`
+  kStatResponse,     // MDS → client: status + record
+  kUpdateRequest,    // client → MDS: mutate `target` (mtime payload)
+  kUpdateResponse,   // MDS → client
+  kForward,          // MDS → MDS: wrong server, hand the request on
+  kHeartbeat,        // MDS → Monitor: load report (its absence = failure)
+  kPendingPoolPush,  // MDS → Monitor: offload a subtree into the pool
+  kPendingPoolPull,  // Monitor → MDS: subtree granted to a puller
+  kGlWriteLock,      // MDS ⇄ Monitor: global-layer write-lock round
+  kGlCommit,         // MDS → MDS: locked GL update / replica rebuild data
+};
+
+const char* MsgTypeName(MsgType type);
+const char* PeerKindName(PeerKind kind);
+
+/// One message on the wire. The payload proper (records) stays in-process —
+/// the transport models the *path* (latency, loss, partitions), not
+/// serialization; `payload_records` sizes bulk transfers for accounting.
+struct Message {
+  MsgType type = MsgType::kStatRequest;
+  NodeId target = kInvalidNode;       // subject node, when applicable
+  std::uint64_t mtime = 0;            // update payload
+  MdsStatus status = MdsStatus::kOk;  // responses
+  std::size_t payload_records = 0;    // bulk transfers (migration, rebuild)
+};
+
+}  // namespace d2tree

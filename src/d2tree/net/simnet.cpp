@@ -1,0 +1,119 @@
+#include "d2tree/net/simnet.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "d2tree/common/rng.h"
+
+namespace d2tree {
+namespace {
+
+double UnitFromBits(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+SimNetTransport::SimNetTransport(SimNetConfig config) : config_(config) {}
+
+std::uint64_t SimNetTransport::DirectedKey(const Address& from,
+                                           const Address& to) noexcept {
+  const auto enc = [](const Address& a) -> std::uint64_t {
+    return (static_cast<std::uint64_t>(a.kind) << 28) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.id)) &
+            0x0FFFFFFFULL);
+  };
+  return (enc(from) << 32) | enc(to);
+}
+
+SimNetTransport::LinkState& SimNetTransport::Link(std::uint64_t key) {
+  {
+    std::shared_lock lock(links_mu_);
+    const auto it = links_.find(key);
+    if (it != links_.end()) return *it->second;
+  }
+  std::unique_lock lock(links_mu_);
+  auto& slot = links_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<LinkState>();
+    slot->drop_bits.store(std::bit_cast<std::uint64_t>(config_.drop_probability),
+                          std::memory_order_relaxed);
+  }
+  return *slot;
+}
+
+SimNetTransport::LinkState* SimNetTransport::FindLink(std::uint64_t key) {
+  std::shared_lock lock(links_mu_);
+  const auto it = links_.find(key);
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+Delivery SimNetTransport::Send(const Address& from, const Address& to,
+                               const Message& msg) {
+  const std::uint64_t key = DirectedKey(from, to);
+  LinkState& link = Link(key);
+  const std::uint64_t seq = link.seq.fetch_add(1, std::memory_order_relaxed);
+
+  Delivery d;
+  if (link.partitioned.load(std::memory_order_acquire)) {
+    d = {false, config_.timeout_us};
+  } else {
+    // The fate of (link, seq) is a pure hash: replays are deterministic.
+    std::uint64_t mix = config_.seed ^ (key * 0x9E3779B97F4A7C15ULL) ^
+                        (seq * 0xD1B54A32D192ED03ULL);
+    const double u_drop = UnitFromBits(SplitMix64(mix));
+    const double u_jitter = UnitFromBits(SplitMix64(mix));
+    const double drop_p =
+        std::bit_cast<double>(link.drop_bits.load(std::memory_order_acquire));
+    if (u_drop < drop_p) {
+      d = {false, config_.timeout_us};
+    } else {
+      double latency = config_.base_latency_us;
+      if (config_.jitter_mean_us > 0.0)
+        latency += config_.jitter_mean_us * -std::log1p(-u_jitter);
+      d = {true, latency};
+    }
+  }
+  Account(d);
+
+  if (record_log_.load(std::memory_order_relaxed)) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%s%d->%s%d %s seq=%llu %s%.3fus",
+                  PeerKindName(from.kind), from.id, PeerKindName(to.kind),
+                  to.id, MsgTypeName(msg.type),
+                  static_cast<unsigned long long>(seq),
+                  d.delivered ? "" : "DROPPED ", d.latency_us);
+    std::lock_guard lock(log_mu_);
+    log_.emplace_back(line);
+  }
+  return d;
+}
+
+bool SimNetTransport::SetLinkDropRate(const Address& a, const Address& b,
+                                      double probability) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(probability);
+  Link(DirectedKey(a, b)).drop_bits.store(bits, std::memory_order_release);
+  Link(DirectedKey(b, a)).drop_bits.store(bits, std::memory_order_release);
+  return true;
+}
+
+bool SimNetTransport::SetPartitioned(const Address& a, const Address& b,
+                                     bool on) {
+  Link(DirectedKey(a, b)).partitioned.store(on, std::memory_order_release);
+  Link(DirectedKey(b, a)).partitioned.store(on, std::memory_order_release);
+  return true;
+}
+
+void SimNetTransport::set_record_log(bool on) {
+  record_log_.store(on, std::memory_order_relaxed);
+}
+
+std::vector<std::string> SimNetTransport::TakeLog() {
+  std::lock_guard lock(log_mu_);
+  std::vector<std::string> out;
+  out.swap(log_);
+  return out;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,86 @@
+// SimNetTransport — a simulated network with latency, loss and partitions.
+//
+// Each directed link (from → to) carries a message sequence counter; the
+// fate of message n on a link is a pure hash of (seed, link, n), so a
+// single-threaded run replays byte-identically under the same seed, and a
+// multi-threaded run — where only *which thread* draws a given sequence
+// number varies — still accrues the same multiset of latencies whenever
+// the per-link message counts match. Latency is base + exponential jitter
+// (the long-tail shape real RPC latencies show); a lost or partitioned
+// leg costs the sender its timeout instead.
+//
+// Faults: per-link drop probability (drop windows) and link-level
+// partitions, settable at runtime through the Transport fault surface —
+// this is how FaultSchedule's kLinkDropStart/kMonitorPartitionStart events
+// reach the wire.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "d2tree/net/transport.h"
+
+namespace d2tree {
+
+struct SimNetConfig {
+  std::uint64_t seed = 0x5E7D2;
+  /// Fixed per-leg propagation delay, µs.
+  double base_latency_us = 100.0;
+  /// Mean of the exponential jitter added on top, µs (0 = none).
+  double jitter_mean_us = 30.0;
+  /// Baseline drop probability of every link (per-link overrides win).
+  double drop_probability = 0.0;
+  /// What a lost/partitioned leg costs the sender, µs (RPC timeout).
+  double timeout_us = 1000.0;
+};
+
+class SimNetTransport final : public Transport {
+ public:
+  explicit SimNetTransport(SimNetConfig config = {});
+
+  Delivery Send(const Address& from, const Address& to,
+                const Message& msg) override;
+
+  bool SetLinkDropRate(const Address& a, const Address& b,
+                       double probability) override;
+  bool SetPartitioned(const Address& a, const Address& b, bool on) override;
+
+  const SimNetConfig& config() const noexcept { return config_; }
+
+  /// When enabled, every Send appends one line ("from->to type seq=N
+  /// 123.456us" or "... DROPPED") to an in-memory log — the determinism
+  /// tests diff it across runs. Off by default (hot-path cost).
+  void set_record_log(bool on);
+  /// Drains and returns the log.
+  std::vector<std::string> TakeLog();
+
+ private:
+  struct LinkState {
+    std::atomic<std::uint64_t> seq{0};
+    /// Drop probability bits (std::atomic<double> lacks fetch ops and
+    /// portability guarantees we rely on; bit-cast through uint64).
+    std::atomic<std::uint64_t> drop_bits{0};
+    std::atomic<bool> partitioned{false};
+  };
+
+  static std::uint64_t DirectedKey(const Address& from,
+                                   const Address& to) noexcept;
+  LinkState& Link(std::uint64_t key);
+  LinkState* FindLink(std::uint64_t key);
+
+  SimNetConfig config_;
+  mutable std::shared_mutex links_mu_;  // guards the map shape only
+  std::unordered_map<std::uint64_t, std::unique_ptr<LinkState>> links_;
+
+  std::atomic<bool> record_log_{false};
+  std::mutex log_mu_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace d2tree

@@ -1,0 +1,27 @@
+#include "d2tree/net/transport.h"
+
+namespace d2tree {
+
+Delivery Transport::SendReliable(const Address& from, const Address& to,
+                                 const Message& msg, int max_tries) {
+  Delivery total{false, 0.0};
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    const Delivery d = Send(from, to, msg);
+    total.latency_us += d.latency_us;
+    if (d.delivered) {
+      total.delivered = true;
+      return total;
+    }
+  }
+  return total;
+}
+
+Delivery InProcessTransport::Send(const Address& from, const Address& to,
+                                  const Message& msg) {
+  (void)from, (void)to, (void)msg;
+  const Delivery d{true, 0.0};
+  Account(d);
+  return d;
+}
+
+}  // namespace d2tree

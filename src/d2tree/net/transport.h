@@ -1,0 +1,107 @@
+// Transport — the message-path abstraction between clients, MDSs and the
+// Monitor.
+//
+// A Transport delivers (or loses) one Message per Send and prices the leg
+// in simulated microseconds. Two implementations ship:
+//
+//   * InProcessTransport — always delivers at zero latency. The functional
+//     cluster on this transport behaves exactly like the pre-message-layer
+//     direct-call implementation, so the fast test suite keeps its speed
+//     and semantics.
+//   * SimNetTransport (net/simnet.h) — seeded per-link latency model,
+//     per-link drop probability and link-level partitions; deterministic
+//     under a fixed seed.
+//
+// The fault surface (SetLinkDropRate / SetPartitioned) is part of the
+// interface so the fault injector can address network faults through the
+// cluster regardless of the transport; transports without a network model
+// refuse them (return false → the injector counts the event as skipped).
+//
+// Thread-safety: Send and the fault surface may be called concurrently
+// from any number of client/adjuster threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "d2tree/net/message.h"
+
+namespace d2tree {
+
+/// Outcome of one message leg. `latency_us` is simulated time: the leg's
+/// network delay when delivered, the sender's timeout when lost.
+struct Delivery {
+  bool delivered = true;
+  double latency_us = 0.0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Attempts to deliver `msg` from `from` to `to`.
+  virtual Delivery Send(const Address& from, const Address& to,
+                        const Message& msg) = 0;
+
+  /// Reliable variant (ARQ): retransmits a lost message up to `max_tries`
+  /// times, accumulating the latency of every attempt. A partitioned link
+  /// still defeats it — the caller decides what an undeliverable control
+  /// message means.
+  Delivery SendReliable(const Address& from, const Address& to,
+                        const Message& msg, int max_tries = 4);
+
+  // --- Fault surface (no-ops unless the transport models a network).
+
+  /// Sets the drop probability of the a⇄b link (both directions).
+  virtual bool SetLinkDropRate(const Address& a, const Address& b,
+                               double probability) {
+    (void)a, (void)b, (void)probability;
+    return false;
+  }
+
+  /// Cuts (or heals) the a⇄b link entirely.
+  virtual bool SetPartitioned(const Address& a, const Address& b, bool on) {
+    (void)a, (void)b, (void)on;
+    return false;
+  }
+
+  // --- Telemetry (monotone counters, cheap enough for the hot path).
+
+  std::uint64_t messages_sent() const noexcept {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Total simulated latency accrued across all legs, microseconds.
+  double total_latency_us() const noexcept {
+    return static_cast<double>(
+               latency_ns_.load(std::memory_order_relaxed)) *
+           1e-3;
+  }
+
+ protected:
+  /// Implementations call this once per Send with the outcome.
+  void Account(const Delivery& d) noexcept {
+    sent_.fetch_add(1, std::memory_order_relaxed);
+    if (!d.delivered) dropped_.fetch_add(1, std::memory_order_relaxed);
+    // Fixed-point ns so concurrent accumulation is order-independent.
+    latency_ns_.fetch_add(static_cast<std::uint64_t>(d.latency_us * 1e3),
+                          std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> latency_ns_{0};
+};
+
+/// Zero-cost transport: every message is delivered instantly. Keeps
+/// today's direct-call behavior (and test speed) bit-for-bit.
+class InProcessTransport final : public Transport {
+ public:
+  Delivery Send(const Address& from, const Address& to,
+                const Message& msg) override;
+};
+
+}  // namespace d2tree

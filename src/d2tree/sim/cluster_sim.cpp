@@ -117,6 +117,11 @@ SimResult RunClusterSim(const Trace& trace, const RoutePlanner& router,
     t += config.net_latency;  // reply to the client
 
     latencies.push_back(t - ev.time);
+    const OpClass cls = plan.gl_target          ? OpClass::kGlHit
+                        : plan.visits.size() == 1 ? OpClass::kLl0Jump
+                                                  : OpClass::kLl1Jump;
+    result.class_latency[static_cast<std::size_t>(cls)].Record(
+        (t - ev.time) * 1e6);
     last_completion = std::max(last_completion, t);
     ++result.completed_ops;
     events.push({t, ev.client});

@@ -10,10 +10,12 @@
 // for the Fig. 5 throughput shapes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "d2tree/core/lock_service.h"
+#include "d2tree/metrics/metrics.h"
 #include "d2tree/sim/route.h"
 #include "d2tree/trace/trace.h"
 
@@ -52,6 +54,9 @@ struct SimResult {
   double lock_wait_total = 0.0; // aggregate GL-lock queueing (contention)
   std::vector<double> server_busy;  // busy seconds per MDS
   std::vector<std::size_t> server_ops;  // visits per MDS
+  /// Completion latency split by how the op routed (index = OpClass;
+  /// µs — the DES has no failover, so that slot stays empty).
+  std::array<LatencyHistogram, kOpClassCount> class_latency;
 
   /// Max busy-time utilization across servers (1.0 = some server saturated).
   double MaxUtilization() const;

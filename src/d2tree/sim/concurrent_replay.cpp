@@ -35,6 +35,10 @@ void IssueOp(FunctionalCluster& cluster, const std::string& path,
     r = cluster.Stat(path);
   }
   stats.latency.Record(MicrosSince(t0));
+  stats.sim_latency.Record(r.sim_latency_us);
+  const auto cls = static_cast<std::size_t>(r.op_class);
+  stats.class_latency[cls].Record(r.sim_latency_us);
+  ++stats.class_ops[cls];
   ++stats.ops;
   if (r.status == MdsStatus::kOk) {
     ++stats.ok;
@@ -63,6 +67,9 @@ ConcurrentReplayReport RunHarness(
   const double gl_wait_before = cluster.gl_lock_wait_seconds();
   const std::uint64_t redirects_before = cluster.failover_redirects();
   const std::uint64_t recovered_before = cluster.recovered_records();
+  const std::uint64_t sent_before = cluster.transport().messages_sent();
+  const std::uint64_t dropped_before = cluster.transport().messages_dropped();
+  const std::uint64_t hb_lost_before = cluster.heartbeats_lost();
 
   // +1 worker slot for the adjuster, +1 for the timing thread (main).
   std::barrier start(static_cast<std::ptrdiff_t>(config.thread_count) + 2);
@@ -116,6 +123,11 @@ ConcurrentReplayReport RunHarness(
     report.total_failed += s.failed;
     report.total_unavailable += s.unavailable;
     report.latency.Merge(s.latency);
+    report.sim_latency.Merge(s.sim_latency);
+    for (std::size_t c = 0; c < kOpClassCount; ++c) {
+      report.class_latency[c].Merge(s.class_latency[c]);
+      report.class_ops[c] += s.class_ops[c];
+    }
   }
   report.throughput_ops_per_sec =
       report.wall_seconds > 0.0
@@ -129,6 +141,10 @@ ConcurrentReplayReport RunHarness(
   report.migrated_records = migrated.load();
   report.failover_redirects = cluster.failover_redirects() - redirects_before;
   report.recovered_records = cluster.recovered_records() - recovered_before;
+  report.messages_sent = cluster.transport().messages_sent() - sent_before;
+  report.messages_dropped =
+      cluster.transport().messages_dropped() - dropped_before;
+  report.heartbeats_lost = cluster.heartbeats_lost() - hb_lost_before;
   if (injector != nullptr) {
     report.faults_applied = injector->applied();
     report.faults_skipped = injector->skipped();

@@ -21,6 +21,7 @@
 // before the final audit.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -67,6 +68,12 @@ struct ThreadReplayStats {
   std::size_t failed = 0;       // any status other than kOk
   std::size_t unavailable = 0;  // kUnavailable (dead-server windows)
   LatencyHistogram latency;     // per-op wall latency, µs
+  /// Per-op *simulated* network latency (sum of the op's message legs),
+  /// µs — all zero on InProcessTransport.
+  LatencyHistogram sim_latency;
+  /// sim_latency split by how the op routed (index = OpClass).
+  std::array<LatencyHistogram, kOpClassCount> class_latency;
+  std::array<std::size_t, kOpClassCount> class_ops{};
 };
 
 struct ConcurrentReplayReport {
@@ -78,6 +85,9 @@ struct ConcurrentReplayReport {
   std::size_t total_forwarded = 0;
   std::size_t total_failed = 0;
   LatencyHistogram latency;  // merged per-thread histograms
+  LatencyHistogram sim_latency;
+  std::array<LatencyHistogram, kOpClassCount> class_latency;
+  std::array<std::size_t, kOpClassCount> class_ops{};
   double wall_seconds = 0.0;
   double throughput_ops_per_sec = 0.0;
 
@@ -85,6 +95,11 @@ struct ConcurrentReplayReport {
   std::uint64_t forwards = 0;
   std::uint64_t gl_updates = 0;
   double gl_lock_wait_seconds = 0.0;
+
+  // Message-layer counters, deltas over the run.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t heartbeats_lost = 0;
 
   // Background adjustment activity.
   std::size_t adjustment_rounds_run = 0;

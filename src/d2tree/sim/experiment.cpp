@@ -69,6 +69,7 @@ SchemeRunResult RunSchemeExperiment(std::string_view scheme_id,
     result.p99_latency = sr.p99_latency;
     result.lock_wait_total = sr.lock_wait_total;
     result.max_utilization = sr.MaxUtilization();
+    result.class_latency = sr.class_latency;
   }
   return result;
 }

@@ -47,6 +47,8 @@ struct SchemeRunResult {
   double p99_latency = 0.0;
   double lock_wait_total = 0.0;
   double max_utilization = 0.0;
+  /// Completion-latency histograms by op class (index = OpClass, µs).
+  std::array<LatencyHistogram, kOpClassCount> class_latency;
 };
 
 /// Builds the scheme (registry id), partitions `w.tree` over `mds_count`

@@ -1,6 +1,7 @@
 #include "d2tree/sim/fault_injector.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "d2tree/common/rng.h"
 
@@ -18,6 +19,14 @@ const char* FaultKindName(FaultKind kind) {
       return "drop-heartbeats";
     case FaultKind::kResumeHeartbeats:
       return "resume-heartbeats";
+    case FaultKind::kLinkDropStart:
+      return "link-drop";
+    case FaultKind::kLinkDropStop:
+      return "link-restore";
+    case FaultKind::kMonitorPartitionStart:
+      return "monitor-partition";
+    case FaultKind::kMonitorPartitionStop:
+      return "monitor-heal";
   }
   return "?";
 }
@@ -37,10 +46,14 @@ FaultSchedule FaultSchedule::Random(std::uint64_t seed, std::size_t mds_count,
   std::size_t alive_n = mds_count;
   std::vector<MdsId> dead;
   std::vector<MdsId> awaiting_resume;
+  std::vector<MdsId> awaiting_restore;
+  std::vector<MdsId> awaiting_heal;
   std::size_t kills = mix.kills;
   std::size_t revives = mix.revives;
   std::size_t additions = mix.server_additions;
   std::size_t drops = mix.heartbeat_drops;
+  std::size_t link_drops = mix.link_drops;
+  std::size_t partitions = mix.monitor_partitions;
 
   const auto pick_alive = [&]() -> MdsId {
     std::vector<MdsId> candidates;
@@ -52,7 +65,10 @@ FaultSchedule FaultSchedule::Random(std::uint64_t seed, std::size_t mds_count,
   std::vector<std::pair<FaultKind, MdsId>> sequence;
   // Round-robin over the kinds: one of each per round, in an order that
   // guarantees a revive always has a corpse and a resume follows its drop.
-  while (kills + revives + additions + drops + awaiting_resume.size() > 0) {
+  while (kills + revives + additions + drops + link_drops + partitions +
+             awaiting_resume.size() + awaiting_restore.size() +
+             awaiting_heal.size() >
+         0) {
     bool progressed = false;
     if (kills > 0 && alive_n > 1) {
       const MdsId t = pick_alive();
@@ -68,6 +84,20 @@ FaultSchedule FaultSchedule::Random(std::uint64_t seed, std::size_t mds_count,
       sequence.emplace_back(FaultKind::kDropHeartbeats, t);
       awaiting_resume.push_back(t);
       --drops;
+      progressed = true;
+    }
+    if (link_drops > 0 && alive_n > 0) {
+      const MdsId t = pick_alive();
+      sequence.emplace_back(FaultKind::kLinkDropStart, t);
+      awaiting_restore.push_back(t);
+      --link_drops;
+      progressed = true;
+    }
+    if (partitions > 0 && alive_n > 0) {
+      const MdsId t = pick_alive();
+      sequence.emplace_back(FaultKind::kMonitorPartitionStart, t);
+      awaiting_heal.push_back(t);
+      --partitions;
       progressed = true;
     }
     if (additions > 0) {
@@ -93,6 +123,18 @@ FaultSchedule FaultSchedule::Random(std::uint64_t seed, std::size_t mds_count,
       sequence.emplace_back(FaultKind::kResumeHeartbeats, t);
       progressed = true;
     }
+    if (link_drops == 0 && !awaiting_restore.empty()) {
+      const MdsId t = awaiting_restore.front();
+      awaiting_restore.erase(awaiting_restore.begin());
+      sequence.emplace_back(FaultKind::kLinkDropStop, t);
+      progressed = true;
+    }
+    if (partitions == 0 && !awaiting_heal.empty()) {
+      const MdsId t = awaiting_heal.front();
+      awaiting_heal.erase(awaiting_heal.begin());
+      sequence.emplace_back(FaultKind::kMonitorPartitionStop, t);
+      progressed = true;
+    }
     // Unsatisfiable leftovers (e.g. more revives than kills, or a kill
     // with one server): drop them rather than loop forever.
     if (!progressed) break;
@@ -108,7 +150,10 @@ FaultSchedule FaultSchedule::Random(std::uint64_t seed, std::size_t mds_count,
     std::size_t at = lo + (hi - lo) * (i + 1) / (sequence.size() + 1);
     at = std::max(at, prev_at + 1);  // keep the order strict
     prev_at = at;
-    schedule.events.push_back({at, sequence[i].first, sequence[i].second});
+    FaultEvent e{at, sequence[i].first, sequence[i].second};
+    if (e.kind == FaultKind::kLinkDropStart)
+      e.drop_prob = mix.link_drop_probability;
+    schedule.events.push_back(e);
   }
   return schedule;
 }
@@ -119,6 +164,11 @@ std::string FaultSchedule::ToString() const {
     out += "@" + std::to_string(e.at_op) + " " + FaultKindName(e.kind);
     if (e.kind != FaultKind::kAddServer)
       out += " mds=" + std::to_string(e.target);
+    if (e.kind == FaultKind::kLinkDropStart) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " p=%g", e.drop_prob);
+      out += buf;
+    }
     out += "\n";
   }
   return out;
@@ -163,6 +213,18 @@ void FaultInjector::Fire(const FaultEvent& event) {
       break;
     case FaultKind::kResumeHeartbeats:
       accepted = cluster_.SetHeartbeatSuppressed(event.target, false);
+      break;
+    case FaultKind::kLinkDropStart:
+      accepted = cluster_.SetClientLinkDrop(event.target, event.drop_prob);
+      break;
+    case FaultKind::kLinkDropStop:
+      accepted = cluster_.SetClientLinkDrop(event.target, 0.0);
+      break;
+    case FaultKind::kMonitorPartitionStart:
+      accepted = cluster_.SetMonitorPartition(event.target, true);
+      break;
+    case FaultKind::kMonitorPartitionStop:
+      accepted = cluster_.SetMonitorPartition(event.target, false);
       break;
   }
   (accepted ? applied_ : skipped_).fetch_add(1, std::memory_order_relaxed);

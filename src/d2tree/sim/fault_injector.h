@@ -11,7 +11,8 @@
 // The FaultInjector consumes a schedule against a live FunctionalCluster.
 // Client threads call OnOp() once per completed operation; due events are
 // dispatched through the cluster's fault operations (KillServer /
-// ReviveServer / AddServer / SetHeartbeatSuppressed), each of which takes
+// ReviveServer / AddServer / SetHeartbeatSuppressed / SetClientLinkDrop /
+// SetMonitorPartition), each of which takes
 // the placement-epoch lock exclusively — so a fault never fires in the
 // middle of a routed request or a migration. Events the cluster rejects
 // (e.g. a kill that would down the last server) are counted as skipped,
@@ -36,6 +37,12 @@ enum class FaultKind : std::uint8_t {
   kAddServer,         // grow the cluster by one fresh MDS
   kDropHeartbeats,    // Monitor presumes the target failed; it drains
   kResumeHeartbeats,  // target reports again and may pull from the pool
+  // Network faults (need a transport with a network model — SimNet;
+  // rejected → skipped on InProcessTransport):
+  kLinkDropStart,          // client⇄target link loses drop_prob of messages
+  kLinkDropStop,           // client⇄target link back to lossless
+  kMonitorPartitionStart,  // Monitor⇄target cut: heartbeats vanish, drains
+  kMonitorPartitionStop,   // Monitor⇄target healed
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -43,18 +50,22 @@ const char* FaultKindName(FaultKind kind);
 struct FaultEvent {
   std::size_t at_op = 0;  // fires once the aggregate op count reaches this
   FaultKind kind = FaultKind::kKill;
-  MdsId target = -1;  // ignored for kAddServer
+  MdsId target = -1;        // ignored for kAddServer
+  double drop_prob = 1.0;   // kLinkDropStart only
 
   bool operator==(const FaultEvent&) const = default;
 };
 
 /// How many events of each kind FaultSchedule::Random generates. Every
-/// drop is paired with a later resume.
+/// drop/partition window start is paired with a later stop.
 struct FaultMix {
   std::size_t kills = 2;
   std::size_t revives = 1;
   std::size_t server_additions = 1;
   std::size_t heartbeat_drops = 0;
+  std::size_t link_drops = 0;          // client⇄MDS lossy windows
+  std::size_t monitor_partitions = 0;  // Monitor⇄MDS partition windows
+  double link_drop_probability = 0.35;
 };
 
 struct FaultSchedule {

@@ -38,6 +38,7 @@ RoutePlan AssignmentRouter::PlanRoute(const TraceRecord& record,
   step(record.node, true);
   if (plan.visits.empty()) {
     // Entire path replicated: any MDS can serve (D2-Tree GL semantics).
+    plan.gl_target = true;
     plan.visits.push_back(static_cast<MdsId>(rng.NextBounded(m)));
   } else if (forward_prob_ > 0.0 && rng.NextBool(forward_prob_)) {
     // Stale client placement knowledge: land on a random MDS first, get
@@ -56,29 +57,29 @@ RoutePlan AssignmentRouter::PlanRoute(const TraceRecord& record,
 
 RoutePlan D2TreeRouter::PlanRoute(const TraceRecord& record, Rng& rng) const {
   RoutePlan plan;
-  const auto m = static_cast<std::uint64_t>(assignment_->mds_count);
-  const auto owner = index_->Route(*tree_, record.node);
-  if (!owner.has_value()) {
+  const auto m = static_cast<std::size_t>(assignment_->mds_count);
+  const RouteDecision route = DecideRoute(*tree_, *index_, record.node);
+  plan.gl_target = route.gl_resident();
+  if (route.gl_resident()) {
     // Global-layer resident: one visit to a randomly chosen replica.
-    plan.visits.push_back(static_cast<MdsId>(rng.NextBounded(m)));
+    plan.visits.push_back(ChooseEntry(route, m, 0.0, rng));
     plan.global_update = record.op == OpType::kUpdate;
     return plan;
   }
-  if (index_miss_prob_ > 0.0 && rng.NextBool(index_miss_prob_)) {
-    // Stale cached index entry: the request lands on a random MDS first
-    // and is forwarded to the real owner.
-    const auto wrong = static_cast<MdsId>(rng.NextBounded(m));
-    if (wrong != *owner) plan.visits.push_back(wrong);
-  }
-  plan.visits.push_back(*owner);
+  // Stale cached index entry: the request lands on a random MDS first and
+  // is forwarded to the real owner.
+  const MdsId entry = ChooseEntry(route, m, index_miss_prob_, rng);
+  if (entry != *route.owner) plan.visits.push_back(entry);
+  plan.visits.push_back(*route.owner);
   return plan;
 }
 
 RoutePlan PartialD2TreeRouter::PlanRoute(const TraceRecord& record,
                                          Rng& rng) const {
   RoutePlan plan;
-  const auto owner = index_->Route(*tree_, record.node);
-  if (!owner.has_value()) {
+  const RouteDecision route = DecideRoute(*tree_, *index_, record.node);
+  plan.gl_target = route.gl_resident();
+  if (route.gl_resident()) {
     // Global-layer resident: one of the node's replicas serves it.
     plan.visits.push_back(partial_->PickReplica(record.node, rng));
     if (record.op == OpType::kUpdate) {
@@ -87,12 +88,10 @@ RoutePlan PartialD2TreeRouter::PlanRoute(const TraceRecord& record,
     }
     return plan;
   }
-  if (index_miss_prob_ > 0.0 && rng.NextBool(index_miss_prob_)) {
-    const auto wrong =
-        static_cast<MdsId>(rng.NextBounded(partial_->mds_count()));
-    if (wrong != *owner) plan.visits.push_back(wrong);
-  }
-  plan.visits.push_back(*owner);
+  const MdsId entry =
+      ChooseEntry(route, partial_->mds_count(), index_miss_prob_, rng);
+  if (entry != *route.owner) plan.visits.push_back(entry);
+  plan.visits.push_back(*route.owner);
   return plan;
 }
 

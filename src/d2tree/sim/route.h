@@ -14,6 +14,7 @@
 #include "d2tree/common/rng.h"
 #include "d2tree/core/local_index.h"
 #include "d2tree/core/partial_replication.h"
+#include "d2tree/core/routing.h"
 #include "d2tree/partition/partition.h"
 #include "d2tree/trace/trace.h"
 
@@ -29,6 +30,11 @@ struct RoutePlan {
   /// schemes): the writer pays a lease-revocation round before the update
   /// is visible (Sec. VII's caching-consistency cost).
   bool cached_target_update = false;
+  /// True when the target resolves in the replicated set (a GL hit for
+  /// D2-Tree; a fully-replicated path for the baselines) — the op-class
+  /// dimension of the latency percentiles. Kept after the positional
+  /// fields above so existing aggregate initializers stay valid.
+  bool gl_target = false;
   /// For global updates under *partial* replication: the servers holding
   /// replicas (broadcast targets). Empty = every server (full replication).
   std::vector<MdsId> broadcast_servers;

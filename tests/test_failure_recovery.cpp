@@ -337,6 +337,7 @@ TEST(FaultInjectorUnit, RandomScheduleIsDeterministicAndValid) {
       case FaultKind::kAddServer: ++adds; break;
       case FaultKind::kDropHeartbeats: ++drops; break;
       case FaultKind::kResumeHeartbeats: ++resumes; break;
+      default: FAIL() << "kind not in this mix: " << FaultKindName(e.kind);
     }
   }
   EXPECT_EQ(kills, 2u);

@@ -9,9 +9,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "d2tree/mds/cluster.h"
+#include "d2tree/net/simnet.h"
 #include "d2tree/sim/concurrent_replay.h"
 #include "d2tree/sim/fault_injector.h"
 #include "d2tree/trace/profiles.h"
@@ -143,6 +145,52 @@ TEST(FaultStress, TraceReplaySurvivesCrashAndHeartbeatLoss) {
   EXPECT_EQ(r.faults_applied + r.faults_skipped,
             cfg.fault_schedule.events.size());
   EXPECT_EQ(r.faults_skipped, 0u);
+  EXPECT_TRUE(r.consistent) << r.consistency_error;
+  ExpectNoRecordLost(cluster, w.tree.size());
+}
+
+// Network-fault storm on SimNetTransport: kills + lossy client links +
+// a Monitor⇄MDS partition, all from one schedule seed, racing 4 replay
+// threads over the simulated wire. Drops may fail ops (bounded failover),
+// but the audit and record conservation must hold after recovery.
+TEST(FaultStress, SimNetStormWithDropsAndPartition) {
+  const Workload w = GenerateWorkload(DtrProfile(0.05));
+  auto net = std::make_shared<SimNetTransport>();
+  FunctionalCluster cluster(w.tree, 4, {}, net);
+
+  ConcurrentReplayConfig cfg;
+  cfg.thread_count = 4;
+  cfg.ops_per_thread = 2000;
+  cfg.update_fraction = 0.10;
+  cfg.stale_entry_fraction = 0.10;
+  cfg.min_adjustment_rounds = 3;
+  cfg.adjustment_interval_us = 500;
+  cfg.seed = 0x51AE7;
+
+  FaultMix mix;
+  mix.kills = 2;
+  mix.revives = 1;
+  mix.server_additions = 1;
+  mix.link_drops = 2;
+  mix.monitor_partitions = 1;
+  const std::size_t total_ops = cfg.thread_count * cfg.ops_per_thread;
+  cfg.fault_schedule = FaultSchedule::Random(0xD10CE, 4, total_ops, mix);
+  // kills+revive+addition + 2 drop windows + 1 partition window (paired).
+  ASSERT_EQ(cfg.fault_schedule.events.size(), 10u);
+
+  const ConcurrentReplayReport r = RunConcurrentReplay(cluster, w.tree, cfg);
+
+  EXPECT_EQ(r.total_ops, total_ops);
+  EXPECT_EQ(r.faults_applied, 10u)
+      << "SimNet accepts the network faults; nothing may be skipped";
+  EXPECT_EQ(r.faults_skipped, 0u);
+  EXPECT_GT(r.messages_dropped, 0u) << "the drop windows must really bite";
+  EXPECT_GT(r.failover_redirects, 0u);
+  EXPECT_GT(r.sim_latency.mean(), 0.0);
+  std::size_t class_total = 0;
+  for (std::size_t c = 0; c < kOpClassCount; ++c)
+    class_total += r.class_ops[c];
+  EXPECT_EQ(class_total, r.total_ops);
   EXPECT_TRUE(r.consistent) << r.consistency_error;
   ExpectNoRecordLost(cluster, w.tree.size());
 }
