@@ -1,0 +1,363 @@
+#!/usr/bin/env python3
+"""AST-free lint for the d2tree lock hierarchy.
+
+Clang's -Wthread-safety enforces lock *usage* (guarded fields, REQUIRES
+helpers) at compile time, but only under Clang, and its ACQUIRED_BEFORE
+ordering checks are best-effort (-Wthread-safety-beta). This script makes
+the hierarchy itself machine-verified on every compiler and in CI:
+
+  1. every `d2tree::Mutex` / `d2tree::SharedMutex` *member* declaration
+     must carry an explicit `D2T_LOCK_RANK(<n>)` (smaller = acquired
+     first — the rank table lives in DESIGN.md "Lock hierarchy");
+  2. ranks are globally unique, so the order is total and unambiguous;
+  3. every declared `D2T_ACQUIRED_BEFORE(a, b, ...)` edge must run
+     strictly rank-increasing (`D2T_ACQUIRED_AFTER` strictly decreasing);
+  4. the union of declared edges must form a DAG (cycle detection is
+     independent of the rank check, so a future rank-less edge set is
+     still rejected when it loops).
+
+No compiler, no libclang: plain text parsing of the checked-in headers.
+The parser understands exactly the declaration style the codebase uses —
+one mutex member per logical declaration, attributes between declarator
+and `;`/initializer — and tracks `class`/`struct` scopes by brace depth
+so identically-named members (`mu_`) in different classes stay distinct.
+
+Usage:
+  check_lock_order.py [--root DIR ...]   lint headers under DIR (default: src)
+  check_lock_order.py --self-test        run the built-in unit cases
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+MUTEX_TYPES = ("Mutex", "SharedMutex")
+
+# `mutable Mutex foo_ ...attrs... ;` — the declarator must follow the bare
+# type name directly (pointers/references/params like `Mutex* mu` are not
+# declarations of a lock we own).
+DECL_RE = re.compile(
+    r"\b(?:mutable\s+)?(?:d2tree::)?(Mutex|SharedMutex)\s+([A-Za-z_]\w*)\s*"
+    r"(?=[;({=\sD])"
+)
+RANK_RE = re.compile(r"\bD2T_LOCK_RANK\(\s*(\d+)\s*\)")
+BEFORE_RE = re.compile(r"\bD2T_ACQUIRED_BEFORE\(([^)]*)\)")
+AFTER_RE = re.compile(r"\bD2T_ACQUIRED_AFTER\(([^)]*)\)")
+SCOPE_RE = re.compile(r"\b(?:class|struct)\s+(?:D2T_\w+(?:\([^)]*\))?\s+)?"
+                      r"([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^{;]*)?\{")
+
+
+def strip_comments(text: str) -> str:
+    """Removes // and /* */ comments, preserving line breaks."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            out.append("\n" * text.count("\n", i, n if j < 0 else j))
+            i = n if j < 0 else j + 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+class Lock:
+    def __init__(self, qualified: str, file: str, line: int,
+                 rank: int | None):
+        self.qualified = qualified  # "Class::member"
+        self.file = file
+        self.line = line
+        self.rank = rank
+
+    def __repr__(self):
+        return self.qualified
+
+
+def parse_file(path: str, text: str, locks: dict, edges: list,
+               errors: list) -> None:
+    text = strip_comments(text)
+    lines = text.split("\n")
+
+    # Scope tracking: stack of (class_name, brace_depth_at_entry).
+    depth = 0
+    scopes: list[tuple[str, int]] = []
+
+    # Logical declaration joining: accumulate lines until ';' balance.
+    pending = ""
+    pending_line = 0
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw
+        for m in SCOPE_RE.finditer(line):
+            # The '{' this scope opens is counted in the brace pass below;
+            # record entry depth as the depth *after* that brace.
+            brace_pos = m.end() - 1
+            entry_depth = depth + line.count("{", 0, brace_pos) + 1
+            scopes.append((m.group(1), entry_depth))
+
+        if pending:
+            pending += " " + line.strip()
+        elif DECL_RE.search(line):
+            pending = line.strip()
+            pending_line = lineno
+
+        if pending and ";" in pending:
+            # A line may hold several declarations; handle each statement.
+            for segment in pending.split(";"):
+                if DECL_RE.search(segment + ";"):
+                    handle_declaration(path, segment + ";", pending_line,
+                                       scopes, locks, edges, errors)
+            pending = ""
+
+        depth += line.count("{") - line.count("}")
+        while scopes and depth < scopes[-1][1]:
+            scopes.pop()
+
+
+def handle_declaration(path: str, decl: str, lineno: int, scopes, locks,
+                       edges, errors) -> None:
+    m = DECL_RE.search(decl)
+    if m is None:
+        return
+    member = m.group(2)
+    cls = scopes[-1][0] if scopes else ""
+    qualified = f"{cls}::{member}" if cls else member
+
+    rank_m = RANK_RE.search(decl)
+    rank = int(rank_m.group(1)) if rank_m else None
+    if rank is None:
+        errors.append(
+            f"{path}:{lineno}: {qualified} ({m.group(1)}) declares no "
+            f"D2T_LOCK_RANK — every lock member must state its place in "
+            f"the hierarchy (see DESIGN.md)")
+    if qualified in locks:
+        prev = locks[qualified]
+        errors.append(
+            f"{path}:{lineno}: duplicate declaration of {qualified} "
+            f"(first seen {prev.file}:{prev.line})")
+        return
+    locks[qualified] = Lock(qualified, path, lineno, rank)
+
+    for regex, flipped in ((BEFORE_RE, False), (AFTER_RE, True)):
+        for am in regex.finditer(decl):
+            for target in am.group(1).split(","):
+                target = target.strip()
+                if not target:
+                    continue
+                tq = f"{cls}::{target}" if cls and "::" not in target \
+                    else target
+                src, dst = (tq, qualified) if flipped else (qualified, tq)
+                edges.append((src, dst, path, lineno))
+
+
+def check(locks: dict, edges: list) -> list:
+    errors = []
+
+    # Unique ranks → a total, unambiguous order.
+    by_rank: dict[int, Lock] = {}
+    for lock in locks.values():
+        if lock.rank is None:
+            continue
+        if lock.rank in by_rank:
+            other = by_rank[lock.rank]
+            errors.append(
+                f"{lock.file}:{lock.line}: {lock.qualified} reuses rank "
+                f"{lock.rank} already held by {other.qualified} "
+                f"({other.file}:{other.line})")
+        else:
+            by_rank[lock.rank] = lock
+
+    # Edges must reference declared locks and run strictly rank-increasing.
+    graph: dict[str, set] = {q: set() for q in locks}
+    for src, dst, path, lineno in edges:
+        for end in (src, dst):
+            if end not in locks:
+                errors.append(
+                    f"{path}:{lineno}: ACQUIRED_BEFORE/AFTER references "
+                    f"unknown lock '{end}'")
+        if src not in locks or dst not in locks:
+            continue
+        graph[src].add(dst)
+        a, b = locks[src].rank, locks[dst].rank
+        if a is not None and b is not None and a >= b:
+            errors.append(
+                f"{path}:{lineno}: declared order {src} (rank {a}) before "
+                f"{dst} (rank {b}) inverts the rank hierarchy")
+
+    # Cycle detection over the declared edges (independent of ranks).
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {q: WHITE for q in graph}
+    stack_trace: list[str] = []
+
+    def dfs(node: str) -> list | None:
+        color[node] = GRAY
+        stack_trace.append(node)
+        for nxt in sorted(graph[node]):
+            if color[nxt] == GRAY:
+                return stack_trace[stack_trace.index(nxt):] + [nxt]
+            if color[nxt] == WHITE:
+                cyc = dfs(nxt)
+                if cyc:
+                    return cyc
+        stack_trace.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            cycle = dfs(node)
+            if cycle:
+                errors.append(
+                    "lock-order cycle: " + " -> ".join(cycle))
+                break
+    return errors
+
+
+def lint_roots(roots: list) -> int:
+    locks: dict[str, Lock] = {}
+    edges: list = []
+    errors: list = []
+    files = []
+    for root in roots:
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith((".h", ".hpp", ".cpp", ".cc")):
+                    files.append(os.path.join(dirpath, name))
+    for path in sorted(files):
+        with open(path, encoding="utf-8") as f:
+            parse_file(path, f.read(), locks, edges, errors)
+    errors += check(locks, edges)
+
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"check_lock_order: FAILED ({len(errors)} error(s))",
+              file=sys.stderr)
+        return 1
+    ranked = sorted((l for l in locks.values()), key=lambda l: l.rank)
+    print(f"check_lock_order: OK — {len(locks)} lock(s), "
+          f"{len(edges)} declared edge(s), hierarchy is a DAG")
+    for lock in ranked:
+        print(f"  rank {lock.rank:>3}  {lock.qualified}")
+    return 0
+
+
+# --- self test ------------------------------------------------------------
+
+
+def run_case(name: str, source: str, expect_substrings: list) -> list:
+    locks: dict[str, Lock] = {}
+    edges: list = []
+    errors: list = []
+    parse_file(f"<{name}>", source, locks, edges, errors)
+    errors += check(locks, edges)
+    failures = []
+    if not expect_substrings and errors:
+        failures.append(f"{name}: expected clean, got {errors}")
+    for want in expect_substrings:
+        if not any(want in e for e in errors):
+            failures.append(
+                f"{name}: expected an error containing '{want}', "
+                f"got {errors or ['<no errors>']}")
+    return failures
+
+
+def self_test() -> int:
+    ok_source = """
+    class A {
+      Mutex first_ D2T_ACQUIRED_BEFORE(second_) D2T_LOCK_RANK(10);
+      SharedMutex second_ D2T_LOCK_RANK(20);
+    };
+    class B {
+      mutable Mutex mu_ D2T_LOCK_RANK(30);
+      int value_ D2T_GUARDED_BY(mu_) = 0;
+    };
+    """
+    multiline_source = """
+    class C {
+      mutable SharedMutex wide_mu_ D2T_ACQUIRED_BEFORE(narrow_mu_)
+          D2T_LOCK_RANK(1);
+      Mutex narrow_mu_ D2T_LOCK_RANK(2);
+    };
+    """
+    missing_rank = """
+    class D { Mutex mu_; };
+    """
+    duplicate_rank = """
+    class E { Mutex a_ D2T_LOCK_RANK(7); Mutex b_ D2T_LOCK_RANK(7); };
+    """
+    inversion = """
+    class F {
+      Mutex low_ D2T_LOCK_RANK(10);
+      Mutex high_ D2T_ACQUIRED_BEFORE(low_) D2T_LOCK_RANK(20);
+    };
+    """
+    cycle = """
+    class G {
+      Mutex a_ D2T_ACQUIRED_BEFORE(b_) D2T_LOCK_RANK(10);
+      Mutex b_ D2T_ACQUIRED_BEFORE(c_) D2T_LOCK_RANK(20);
+      Mutex c_ D2T_ACQUIRED_BEFORE(a_) D2T_LOCK_RANK(30);
+    };
+    """
+    unknown_target = """
+    class H { Mutex a_ D2T_ACQUIRED_BEFORE(ghost_) D2T_LOCK_RANK(5); };
+    """
+    same_name_two_classes = """
+    class I { Mutex mu_ D2T_LOCK_RANK(1); };
+    class J { Mutex mu_ D2T_LOCK_RANK(2); };
+    """
+    not_a_member = """
+    void f(Mutex* mu);
+    class K { Mutex& ref(); };
+    """
+
+    failures = []
+    failures += run_case("ok", ok_source, [])
+    failures += run_case("multiline", multiline_source, [])
+    failures += run_case("missing-rank", missing_rank,
+                         ["declares no D2T_LOCK_RANK"])
+    failures += run_case("duplicate-rank", duplicate_rank, ["reuses rank 7"])
+    failures += run_case("inversion", inversion,
+                         ["inverts the rank hierarchy"])
+    failures += run_case("cycle", cycle, ["lock-order cycle"])
+    failures += run_case("unknown-target", unknown_target,
+                         ["unknown lock 'H::ghost_'"])
+    failures += run_case("scoped-names", same_name_two_classes, [])
+    failures += run_case("not-a-member", not_a_member, [])
+
+    if failures:
+        for f in failures:
+            print(f, file=sys.stderr)
+        print(f"self-test: FAILED ({len(failures)})", file=sys.stderr)
+        return 1
+    print("self-test: OK (9 cases)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", action="append", default=[],
+                    help="directory to lint (repeatable; default: src)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in unit cases and exit")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    roots = args.root or ["src"]
+    for root in roots:
+        if not os.path.isdir(root):
+            print(f"check_lock_order: no such directory: {root}",
+                  file=sys.stderr)
+            return 2
+    return lint_roots(roots)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

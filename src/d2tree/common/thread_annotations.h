@@ -1,0 +1,91 @@
+// Clang thread-safety-analysis attribute macros (no-ops on GCC/MSVC).
+//
+// These wrap the capability-based annotations documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so the lock
+// discipline of the functional cluster is checked at compile time: a
+// Clang build adds -Wthread-safety -Werror=thread-safety (see the
+// top-level CMakeLists), so reading a D2T_GUARDED_BY field without its
+// mutex, or calling a ...Locked() helper without the D2T_REQUIRES
+// capability, fails the build. Other compilers see plain declarations.
+//
+// The companion lock-order lint (scripts/check_lock_order.py) parses the
+// D2T_ACQUIRED_BEFORE edges and D2T_LOCK_RANK declarations out of the
+// headers and verifies the global hierarchy forms a DAG — see the "Lock
+// hierarchy" section of DESIGN.md for the rank table.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define D2T_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define D2T_THREAD_ANNOTATION_(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a class as a lockable capability (our Mutex/SharedMutex).
+#define D2T_CAPABILITY(x) D2T_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define D2T_SCOPED_CAPABILITY D2T_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define D2T_GUARDED_BY(x) D2T_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define D2T_PT_GUARDED_BY(x) D2T_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares the global acquisition order between two mutexes: this one is
+/// always taken before the argument(s). Checked by -Wthread-safety-beta
+/// under Clang and cross-checked (as a DAG, against the declared ranks)
+/// by scripts/check_lock_order.py on every compiler.
+#define D2T_ACQUIRED_BEFORE(...) \
+  D2T_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define D2T_ACQUIRED_AFTER(...) \
+  D2T_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held exclusively (…Locked() helpers).
+#define D2T_REQUIRES(...) \
+  D2T_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function requires the capability held at least shared.
+#define D2T_REQUIRES_SHARED(...) \
+  D2T_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and does not
+/// release it before returning.
+#define D2T_ACQUIRE(...) \
+  D2T_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define D2T_ACQUIRE_SHARED(...) \
+  D2T_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (generic form releases either mode).
+#define D2T_RELEASE(...) \
+  D2T_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define D2T_RELEASE_SHARED(...) \
+  D2T_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the capability; acquired iff it returns `result`.
+#define D2T_TRY_ACQUIRE(...) \
+  D2T_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define D2T_TRY_ACQUIRE_SHARED(...) \
+  D2T_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrant entry points).
+#define D2T_EXCLUDES(...) D2T_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts the calling thread holds the capability (runtime-checked entry).
+#define D2T_ASSERT_CAPABILITY(x) \
+  D2T_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define D2T_RETURN_CAPABILITY(x) D2T_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch — not used anywhere in src/ (the build keeps it that way;
+/// grep is part of the lint wall) but provided for test scaffolding.
+#define D2T_NO_THREAD_SAFETY_ANALYSIS \
+  D2T_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Documentary rank of a mutex member in the global lock hierarchy
+/// (smaller rank = acquired first). Expands to nothing for the compiler;
+/// scripts/check_lock_order.py requires every d2tree::Mutex/SharedMutex
+/// member declaration to carry one and verifies all D2T_ACQUIRED_BEFORE
+/// edges run strictly rank-increasing.
+#define D2T_LOCK_RANK(n)

@@ -14,12 +14,16 @@ FunctionalCluster::FunctionalCluster(const NamespaceTree& tree,
                                      D2TreeConfig config,
                                      std::shared_ptr<Transport> transport)
     : tree_(tree),
-      capacities_(MdsCluster::Homogeneous(mds_count)),
-      scheme_(std::move(config)),
       transport_(transport != nullptr
                      ? std::move(transport)
                      : std::make_shared<InProcessTransport>()) {
   assert(mds_count > 0);
+  // Nobody else can reach `this` yet, but the guarded members are
+  // initialized under the placement lock so every access — including the
+  // ones inside Materialize() — carries its capability.
+  WriterMutexLock topo(&topo_mu_);
+  capacities_ = MdsCluster::Homogeneous(mds_count);
+  scheme_ = D2TreeScheme(std::move(config));
   assignment_ = scheme_.Partition(tree_, capacities_);
   servers_.reserve(mds_count);
   for (std::size_t k = 0; k < mds_count; ++k)
@@ -28,17 +32,17 @@ FunctionalCluster::FunctionalCluster(const NamespaceTree& tree,
 }
 
 std::size_t FunctionalCluster::mds_count() const {
-  std::shared_lock topo(topo_mu_);
+  ReaderMutexLock topo(&topo_mu_);
   return servers_.size();
 }
 
 std::size_t FunctionalCluster::alive_count() const {
-  std::shared_lock topo(topo_mu_);
+  ReaderMutexLock topo(&topo_mu_);
   return AliveCountLocked();
 }
 
 bool FunctionalCluster::IsServerAlive(MdsId mds) const {
-  std::shared_lock topo(topo_mu_);
+  ReaderMutexLock topo(&topo_mu_);
   return AliveLocked(mds);
 }
 
@@ -238,13 +242,13 @@ FunctionalCluster::ClientResult FunctionalCluster::Stat(
   NodeId target;
   std::uint64_t entropy;
   {
-    std::lock_guard lock(client_mu_);
+    MutexLock lock(&client_mu_);
     target = tree_.Resolve(path);
     if (target == kInvalidNode) return {};
     tree_.AddAccess(target);
     entropy = rng_();
   }
-  std::shared_lock topo(topo_mu_);
+  ReaderMutexLock topo(&topo_mu_);
   const RouteDecision route =
       DecideRoute(tree_, scheme_.local_index(), target);
   // Entry for GL-resident targets: any server (picked under the placement
@@ -257,12 +261,12 @@ FunctionalCluster::ClientResult FunctionalCluster::StatVia(
     const std::string& path, MdsId via) {
   NodeId target;
   {
-    std::lock_guard lock(client_mu_);
+    MutexLock lock(&client_mu_);
     target = tree_.Resolve(path);
     if (target == kInvalidNode) return {};
     tree_.AddAccess(target);
   }
-  std::shared_lock topo(topo_mu_);
+  ReaderMutexLock topo(&topo_mu_);
   if (via < 0 || static_cast<std::size_t>(via) >= servers_.size()) {
     // No such server: reject instead of indexing servers_ out of range.
     ClientResult out;
@@ -281,14 +285,14 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
   NodeId target;
   std::vector<NodeId> ancestors;
   {
-    std::lock_guard lock(client_mu_);
+    MutexLock lock(&client_mu_);
     target = tree_.Resolve(path);
     if (target == kInvalidNode) return out;
     tree_.AddAccess(target);
     ancestors = tree_.AncestorsOf(target);
   }
 
-  std::shared_lock topo(topo_mu_);
+  ReaderMutexLock topo(&topo_mu_);
   const RouteDecision route = DecideRoute(tree_, scheme_.local_index(), target);
   if (route.gl_resident()) {
     // Global-layer update: lock, bump the master version, write every
@@ -296,7 +300,7 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
     // the rebuild at revive. The wait for the lock is the live-cluster
     // contention signal the harness reports.
     const auto t0 = std::chrono::steady_clock::now();
-    std::lock_guard lock(gl_mu_);
+    MutexLock lock(&gl_mu_);
     gl_lock_wait_ns_.fetch_add(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
@@ -407,7 +411,7 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
 }
 
 bool FunctionalCluster::KillServer(MdsId mds) {
-  std::unique_lock topo(topo_mu_);
+  WriterMutexLock topo(&topo_mu_);
   if (!AliveLocked(mds)) return false;
   if (AliveCountLocked() <= 1) return false;  // keep the namespace reachable
   servers_[mds]->set_alive(false);
@@ -419,13 +423,13 @@ bool FunctionalCluster::KillServer(MdsId mds) {
 }
 
 bool FunctionalCluster::ReviveServer(MdsId mds) {
-  std::unique_lock topo(topo_mu_);
+  WriterMutexLock topo(&topo_mu_);
   if (mds < 0 || static_cast<std::size_t>(mds) >= servers_.size() ||
       servers_[mds]->alive()) {
     return false;
   }
   {
-    std::lock_guard gl(gl_mu_);
+    MutexLock gl(&gl_mu_);
     // Replica first, liveness second: the server never serves a stale or
     // empty global layer.
     RebuildGlReplicaLocked(mds);
@@ -448,17 +452,17 @@ bool FunctionalCluster::ReviveServer(MdsId mds) {
 }
 
 MdsId FunctionalCluster::AddServer(double capacity) {
-  std::unique_lock topo(topo_mu_);
+  WriterMutexLock topo(&topo_mu_);
   const MdsId id = static_cast<MdsId>(servers_.size());
   servers_.push_back(std::make_unique<MdsServer>(id));
   capacities_.capacities.push_back(capacity);
-  std::lock_guard gl(gl_mu_);
+  MutexLock gl(&gl_mu_);
   RebuildGlReplicaLocked(id);
   return id;
 }
 
 bool FunctionalCluster::SetHeartbeatSuppressed(MdsId mds, bool suppressed) {
-  std::unique_lock topo(topo_mu_);
+  WriterMutexLock topo(&topo_mu_);
   if (mds < 0 || static_cast<std::size_t>(mds) >= servers_.size())
     return false;
   servers_[mds]->set_heartbeats_suppressed(suppressed);
@@ -466,7 +470,7 @@ bool FunctionalCluster::SetHeartbeatSuppressed(MdsId mds, bool suppressed) {
 }
 
 bool FunctionalCluster::SetClientLinkDrop(MdsId mds, double probability) {
-  std::unique_lock topo(topo_mu_);
+  WriterMutexLock topo(&topo_mu_);
   if (mds < 0 || static_cast<std::size_t>(mds) >= servers_.size())
     return false;
   return transport_->SetLinkDropRate(ClientAddress(), MdsAddress(mds),
@@ -474,7 +478,7 @@ bool FunctionalCluster::SetClientLinkDrop(MdsId mds, double probability) {
 }
 
 bool FunctionalCluster::SetMonitorPartition(MdsId mds, bool partitioned) {
-  std::unique_lock topo(topo_mu_);
+  WriterMutexLock topo(&topo_mu_);
   if (mds < 0 || static_cast<std::size_t>(mds) >= servers_.size())
     return false;
   return transport_->SetPartitioned(MonitorAddress(), MdsAddress(mds),
@@ -485,14 +489,14 @@ std::size_t FunctionalCluster::RunAdjustmentRound() {
   // Freeze popularity charging, then enter an exclusive placement epoch:
   // no client routes or touches a store while records are in flight
   // between servers (lock order: client_mu_ → topo_mu_).
-  std::lock_guard client(client_mu_);
-  std::unique_lock topo(topo_mu_);
+  MutexLock client(&client_mu_);
+  WriterMutexLock topo(&topo_mu_);
 
   {
     // Defensive sweep: any live server whose GL replica lags the master
     // (revived/added under unusual interleavings) is rebuilt before it
     // can take subtree traffic.
-    std::lock_guard gl(gl_mu_);
+    MutexLock gl(&gl_mu_);
     const std::uint64_t master =
         gl_master_version_.load(std::memory_order_acquire);
     for (const auto& server : servers_)
@@ -560,8 +564,8 @@ std::size_t FunctionalCluster::RunAdjustmentRound() {
 bool FunctionalCluster::CheckConsistency(std::string* error) const {
   // Shared placement lock: no migration in flight. The GL lock quiesces
   // writers so no replica is observed mid-broadcast.
-  std::shared_lock topo(topo_mu_);
-  std::lock_guard gl(gl_mu_);
+  ReaderMutexLock topo(&topo_mu_);
+  MutexLock gl(&gl_mu_);
   const auto fail = [&](std::string msg) {
     if (error != nullptr) *error = std::move(msg);
     return false;

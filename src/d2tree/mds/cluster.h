@@ -45,10 +45,12 @@
 // / Update concurrently with each other and with RunAdjustmentRound /
 // CheckConsistency / the fault operations (KillServer, ReviveServer,
 // AddServer). Three locks coordinate them (always acquired in this
-// order — client_mu_ → topo_mu_ → gl_mu_):
+// order — client_mu_ → topo_mu_ → gl_mu_ — declared as
+// D2T_ACQUIRED_BEFORE edges on the members below and enforced at compile
+// time by Clang's -Wthread-safety plus scripts/check_lock_order.py):
 //   * client_mu_   — client-side bookkeeping: popularity charging on the
 //                    private tree copy and the shared rng.
-//   * topo_mu_     — a shared_mutex "placement epoch" lock. Clients hold it
+//   * topo_mu_     — a shared-mutex "placement epoch" lock. Clients hold it
 //                    shared while routing and touching stores; an
 //                    adjustment round — and every fault operation — holds
 //                    it exclusive while it mutates the scheme/assignment,
@@ -58,18 +60,28 @@
 //                    update's version bump + replica broadcast is atomic
 //                    with respect to other writers, replica rebuilds and
 //                    the auditor.
+// Below these nest the per-store locks (MetadataStore::mu_, rank 40) and
+// the transport's link/log locks (SimNetTransport, ranks 50/60) — see
+// DESIGN.md "Lock hierarchy" for the full rank table.
 // gl_master_version_ is additionally atomic so monitoring reads never race
 // with a broadcast in flight.
+//
+// tree_ is deliberately *not* GUARDED_BY one mutex: its structure is
+// immutable after construction (read freely under topo_mu_ shared), while
+// its popularity counters are only mutated under client_mu_ (AddAccess,
+// RecomputeSubtreePopularity — the latter additionally under topo_mu_
+// exclusive so no reader observes aggregates mid-recompute). A single
+// capability cannot express that field-disjoint protocol; the split is
+// documented here and exercised race-free under TSan.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "d2tree/common/mutex.h"
 #include "d2tree/core/d2tree.h"
 #include "d2tree/mds/server.h"
 #include "d2tree/metrics/metrics.h"
@@ -92,10 +104,29 @@ class FunctionalCluster {
   std::size_t mds_count() const;
   /// Servers currently alive.
   std::size_t alive_count() const;
-  MdsServer& server(MdsId id) { return *servers_[id]; }
-  const MdsServer& server(MdsId id) const { return *servers_[id]; }
-  const D2TreeScheme& scheme() const noexcept { return scheme_; }
-  const Assignment& assignment() const noexcept { return assignment_; }
+  /// The server object is stable (held by unique_ptr), but indexing the
+  /// membership vector takes the placement lock shared: AddServer may be
+  /// growing it concurrently.
+  MdsServer& server(MdsId id) {
+    ReaderMutexLock topo(&topo_mu_);
+    return *servers_[static_cast<std::size_t>(id)];
+  }
+  const MdsServer& server(MdsId id) const {
+    ReaderMutexLock topo(&topo_mu_);
+    return *servers_[static_cast<std::size_t>(id)];
+  }
+  /// Reference stays valid for the cluster's lifetime; its *contents*
+  /// shift whenever an adjustment round commits, so snapshot what you
+  /// compare. The shared hold only fences the read against a round
+  /// mid-commit.
+  const D2TreeScheme& scheme() const {
+    ReaderMutexLock topo(&topo_mu_);
+    return scheme_;
+  }
+  const Assignment& assignment() const {
+    ReaderMutexLock topo(&topo_mu_);
+    return assignment_;
+  }
 
   struct ClientResult {
     MdsStatus status = MdsStatus::kNotFound;
@@ -232,43 +263,56 @@ class FunctionalCluster {
 
  private:
   InodeRecord MakeRecord(NodeId id) const;
-  void Materialize();
+  /// Loads every record into the right store. Called from the constructor
+  /// under the exclusive placement hold it takes for initialization.
+  void Materialize() D2T_REQUIRES(topo_mu_);
   /// Client-side stub: sends the request leg(s) for `target` entering at
   /// `at`, drives the server-side handler, pays forward/failover legs and
-  /// fills the per-op telemetry. Caller must hold topo_mu_ (shared).
-  ClientResult StatAt(NodeId target, MdsId at);
+  /// fills the per-op telemetry.
+  ClientResult StatAt(NodeId target, MdsId at) D2T_REQUIRES_SHARED(topo_mu_);
   /// Accounts one control-plane leg (heartbeat/migration/rebuild traffic).
   void AccountControl(const Delivery& d) noexcept {
     control_ns_.fetch_add(static_cast<std::uint64_t>(d.latency_us * 1e3),
                           std::memory_order_relaxed);
   }
-  /// Liveness check; caller must hold topo_mu_ (shared or exclusive).
-  bool AliveLocked(MdsId mds) const {
+  /// Liveness check.
+  bool AliveLocked(MdsId mds) const D2T_REQUIRES_SHARED(topo_mu_) {
     return mds >= 0 && static_cast<std::size_t>(mds) < servers_.size() &&
            servers_[mds]->alive();
   }
-  MdsId AnyAliveLocked() const;
-  std::size_t AliveCountLocked() const;
+  MdsId AnyAliveLocked() const D2T_REQUIRES_SHARED(topo_mu_);
+  std::size_t AliveCountLocked() const D2T_REQUIRES_SHARED(topo_mu_);
   /// Capacities the Monitor plans with, derived from one heartbeat round
   /// *as messages*: dead and suppressed servers send nothing; a heartbeat
   /// lost on the wire (drop or Monitor⇄MDS partition) silences its sender
   /// just the same — either way the Monitor plans with capacity 0 and the
-  /// server drains. Caller must hold topo_mu_ exclusively.
-  MdsCluster CollectHeartbeats();
-  /// Re-fills `mds`'s GL replica at the master version. Caller must hold
-  /// topo_mu_ exclusively and gl_mu_.
-  void RebuildGlReplicaLocked(MdsId mds);
+  /// server drains.
+  MdsCluster CollectHeartbeats() D2T_REQUIRES(topo_mu_);
+  /// Re-fills `mds`'s GL replica at the master version.
+  void RebuildGlReplicaLocked(MdsId mds) D2T_REQUIRES(topo_mu_, gl_mu_);
 
+  // tree_ is protocol-guarded, not capability-guarded — see the threading
+  // contract at the top of this file.
   NamespaceTree tree_;  // private copy: accrues access popularity
-  MdsCluster capacities_;
-  D2TreeScheme scheme_;
-  Assignment assignment_;
-  std::vector<std::unique_ptr<MdsServer>> servers_;
-  std::shared_ptr<Transport> transport_;
+  std::shared_ptr<Transport> transport_;  // set once in the ctor, then const
+
+  /// Guards the client-side bookkeeping (popularity charging, rng) so
+  /// multiple client threads can drive the cluster concurrently; server
+  /// stores have their own locks. First in the cluster's acquisition
+  /// order.
+  mutable Mutex client_mu_ D2T_ACQUIRED_BEFORE(topo_mu_) D2T_LOCK_RANK(10);
+  Rng rng_ D2T_GUARDED_BY(client_mu_){0xC1057E2ULL};
 
   /// Placement epoch lock (see threading contract above).
-  mutable std::shared_mutex topo_mu_;
-  mutable std::mutex gl_mu_;  // the ZooKeeper-style global-layer write lock
+  mutable SharedMutex topo_mu_ D2T_ACQUIRED_BEFORE(gl_mu_) D2T_LOCK_RANK(20);
+  MdsCluster capacities_ D2T_GUARDED_BY(topo_mu_);
+  D2TreeScheme scheme_ D2T_GUARDED_BY(topo_mu_);
+  Assignment assignment_ D2T_GUARDED_BY(topo_mu_);
+  std::vector<std::unique_ptr<MdsServer>> servers_ D2T_GUARDED_BY(topo_mu_);
+
+  /// The ZooKeeper-style global-layer write lock.
+  mutable Mutex gl_mu_ D2T_LOCK_RANK(30);
+
   std::atomic<std::uint64_t> gl_master_version_{0};
   std::atomic<std::uint64_t> forwards_{0};
   std::atomic<std::uint64_t> gl_updates_{0};
@@ -278,11 +322,6 @@ class FunctionalCluster {
   std::atomic<std::uint64_t> recovered_records_{0};
   std::atomic<std::uint64_t> heartbeats_lost_{0};
   std::atomic<std::uint64_t> control_ns_{0};
-  /// Guards the client-side bookkeeping (popularity charging, rng) so
-  /// multiple client threads can drive the cluster concurrently; server
-  /// stores have their own locks.
-  mutable std::mutex client_mu_;
-  Rng rng_{0xC1057E2ULL};
 };
 
 }  // namespace d2tree

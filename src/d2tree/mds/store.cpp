@@ -19,24 +19,24 @@ const char* MdsStatusName(MdsStatus status) {
 }
 
 void MetadataStore::Put(const InodeRecord& record) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   records_[record.id] = record;
 }
 
 std::optional<InodeRecord> MetadataStore::Get(NodeId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = records_.find(id);
   if (it == records_.end()) return std::nullopt;
   return it->second;
 }
 
 bool MetadataStore::Contains(NodeId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return records_.contains(id);
 }
 
 std::optional<InodeRecord> MetadataStore::Remove(NodeId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = records_.find(id);
   if (it == records_.end()) return std::nullopt;
   InodeRecord out = std::move(it->second);
@@ -46,7 +46,7 @@ std::optional<InodeRecord> MetadataStore::Remove(NodeId id) {
 
 std::optional<std::uint64_t> MetadataStore::Mutate(NodeId id,
                                                    std::uint64_t mtime) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = records_.find(id);
   if (it == records_.end()) return std::nullopt;
   it->second.attrs.mtime = mtime;
@@ -55,7 +55,7 @@ std::optional<std::uint64_t> MetadataStore::Mutate(NodeId id,
 
 std::vector<InodeRecord> MetadataStore::ExtractAll(
     const std::vector<NodeId>& ids) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<InodeRecord> out;
   out.reserve(ids.size());
   for (NodeId id : ids) {
@@ -68,12 +68,12 @@ std::vector<InodeRecord> MetadataStore::ExtractAll(
 }
 
 void MetadataStore::InsertAll(const std::vector<InodeRecord>& records) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& r : records) records_[r.id] = r;
 }
 
 std::vector<InodeRecord> MetadataStore::Snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<InodeRecord> out;
   out.reserve(records_.size());
   for (const auto& [id, rec] : records_) out.push_back(rec);
@@ -81,17 +81,17 @@ std::vector<InodeRecord> MetadataStore::Snapshot() const {
 }
 
 void MetadataStore::Clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   records_.clear();
 }
 
 std::size_t MetadataStore::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return records_.size();
 }
 
 std::vector<NodeId> MetadataStore::HeldIds() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<NodeId> out;
   out.reserve(records_.size());
   for (const auto& [id, rec] : records_) out.push_back(id);

@@ -2,15 +2,18 @@
 // replica of the global layer.
 //
 // Thread-safe (one mutex per store): the functional cluster serves
-// concurrent client threads in tests and examples.
+// concurrent client threads in tests and examples. The store mutex is the
+// innermost cluster lock (rank 40): it is taken with the placement-epoch
+// and GL locks already held and never the other way around — enforced by
+// the annotated wrappers + scripts/check_lock_order.py.
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "d2tree/common/mutex.h"
 #include "d2tree/mds/inode.h"
 
 namespace d2tree {
@@ -57,8 +60,10 @@ class MetadataStore {
   std::vector<NodeId> HeldIds() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<NodeId, InodeRecord> records_;
+  /// Backing-store lock: innermost in the cluster hierarchy (DESIGN.md
+  /// "Lock hierarchy").
+  mutable Mutex mu_ D2T_LOCK_RANK(40);
+  std::unordered_map<NodeId, InodeRecord> records_ D2T_GUARDED_BY(mu_);
 };
 
 }  // namespace d2tree

@@ -29,11 +29,11 @@ std::uint64_t SimNetTransport::DirectedKey(const Address& from,
 
 SimNetTransport::LinkState& SimNetTransport::Link(std::uint64_t key) {
   {
-    std::shared_lock lock(links_mu_);
+    ReaderMutexLock lock(&links_mu_);
     const auto it = links_.find(key);
     if (it != links_.end()) return *it->second;
   }
-  std::unique_lock lock(links_mu_);
+  WriterMutexLock lock(&links_mu_);
   auto& slot = links_[key];
   if (slot == nullptr) {
     slot = std::make_unique<LinkState>();
@@ -44,7 +44,7 @@ SimNetTransport::LinkState& SimNetTransport::Link(std::uint64_t key) {
 }
 
 SimNetTransport::LinkState* SimNetTransport::FindLink(std::uint64_t key) {
-  std::shared_lock lock(links_mu_);
+  ReaderMutexLock lock(&links_mu_);
   const auto it = links_.find(key);
   return it == links_.end() ? nullptr : it->second.get();
 }
@@ -84,7 +84,7 @@ Delivery SimNetTransport::Send(const Address& from, const Address& to,
                   to.id, MsgTypeName(msg.type),
                   static_cast<unsigned long long>(seq),
                   d.delivered ? "" : "DROPPED ", d.latency_us);
-    std::lock_guard lock(log_mu_);
+    MutexLock lock(&log_mu_);
     log_.emplace_back(line);
   }
   return d;
@@ -110,7 +110,7 @@ void SimNetTransport::set_record_log(bool on) {
 }
 
 std::vector<std::string> SimNetTransport::TakeLog() {
-  std::lock_guard lock(log_mu_);
+  MutexLock lock(&log_mu_);
   std::vector<std::string> out;
   out.swap(log_);
   return out;

@@ -18,12 +18,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "d2tree/common/mutex.h"
 #include "d2tree/net/transport.h"
 
 namespace d2tree {
@@ -71,16 +70,23 @@ class SimNetTransport final : public Transport {
 
   static std::uint64_t DirectedKey(const Address& from,
                                    const Address& to) noexcept;
-  LinkState& Link(std::uint64_t key);
-  LinkState* FindLink(std::uint64_t key);
+  LinkState& Link(std::uint64_t key) D2T_EXCLUDES(links_mu_);
+  LinkState* FindLink(std::uint64_t key) D2T_EXCLUDES(links_mu_);
 
   SimNetConfig config_;
-  mutable std::shared_mutex links_mu_;  // guards the map shape only
-  std::unordered_map<std::uint64_t, std::unique_ptr<LinkState>> links_;
+  /// Guards the link map's *shape* only (LinkState fields are atomics);
+  /// taken below every cluster lock — Send runs under the placement
+  /// epoch's shared hold.
+  mutable SharedMutex links_mu_ D2T_ACQUIRED_BEFORE(log_mu_)
+      D2T_LOCK_RANK(50);
+  std::unordered_map<std::uint64_t, std::unique_ptr<LinkState>> links_
+      D2T_GUARDED_BY(links_mu_);
 
   std::atomic<bool> record_log_{false};
-  std::mutex log_mu_;
-  std::vector<std::string> log_;
+  /// Innermost lock of the whole system: only ever taken last, inside
+  /// Send, after the link map hold is already released.
+  Mutex log_mu_ D2T_LOCK_RANK(60);
+  std::vector<std::string> log_ D2T_GUARDED_BY(log_mu_);
 };
 
 }  // namespace d2tree

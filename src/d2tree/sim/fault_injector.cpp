@@ -187,16 +187,16 @@ FaultInjector::FaultInjector(FunctionalCluster& cluster, FaultSchedule schedule)
 void FaultInjector::OnOp() {
   const std::size_t seen = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (seen < next_at_.load(std::memory_order_acquire)) return;  // fast path
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   while (cursor_ < events_.size() && events_[cursor_].at_op <= seen)
-    Fire(events_[cursor_++]);
+    FireLocked(events_[cursor_++]);
   next_at_.store(cursor_ < events_.size()
                      ? events_[cursor_].at_op
                      : std::numeric_limits<std::size_t>::max(),
                  std::memory_order_release);
 }
 
-void FaultInjector::Fire(const FaultEvent& event) {
+void FaultInjector::FireLocked(const FaultEvent& event) {
   bool accepted = false;
   switch (event.kind) {
     case FaultKind::kKill:

@@ -23,10 +23,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "d2tree/common/mutex.h"
 #include "d2tree/mds/cluster.h"
 
 namespace d2tree {
@@ -120,15 +120,21 @@ class FaultInjector {
   std::size_t event_count() const noexcept { return events_.size(); }
 
  private:
-  void Fire(const FaultEvent& event);
+  /// Dispatches one due event into the cluster's fault operations. Fires
+  /// with the injector lock held (so each event fires exactly once) while
+  /// the cluster operation takes the placement lock inside — the reason
+  /// mu_ ranks *before* every cluster lock in the hierarchy.
+  void FireLocked(const FaultEvent& event) D2T_REQUIRES(mu_);
 
   FunctionalCluster& cluster_;
-  std::vector<FaultEvent> events_;
+  std::vector<FaultEvent> events_;  // sorted in the ctor, then immutable
   std::atomic<std::size_t> ops_{0};
   /// at_op of the next unfired event — the lock-free fast-path gate.
   std::atomic<std::size_t> next_at_{std::numeric_limits<std::size_t>::max()};
-  std::mutex mu_;           // serializes firing
-  std::size_t cursor_ = 0;  // first unfired event; guarded by mu_
+  /// Serializes firing; held across the cluster fault operations, hence
+  /// the outermost rank of the whole hierarchy.
+  Mutex mu_ D2T_LOCK_RANK(5);
+  std::size_t cursor_ D2T_GUARDED_BY(mu_) = 0;  // first unfired event
   std::atomic<std::size_t> applied_{0};
   std::atomic<std::size_t> skipped_{0};
 };

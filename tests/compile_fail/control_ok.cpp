@@ -1,0 +1,49 @@
+// Positive control for the negative-compile suite: correct lock usage
+// that MUST compile under -Wthread-safety -Wthread-safety-beta -Werror.
+// If this file stops compiling, the sibling compile_fail cases are
+// failing for the wrong reason (broken include path or flags), not
+// because the analysis caught them.
+#include "d2tree/common/mutex.h"
+#include "d2tree/common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    d2tree::MutexLock lock(&mu_);
+    ++value_;
+  }
+  int Get() const {
+    d2tree::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable d2tree::Mutex mu_;
+  int value_ D2T_GUARDED_BY(mu_) = 0;
+};
+
+class Ordered {
+ public:
+  void Forwards() {
+    d2tree::MutexLock hold_a(&a_);
+    d2tree::MutexLock hold_b(&b_);
+    ++steps_;
+  }
+
+ private:
+  d2tree::Mutex a_ D2T_ACQUIRED_BEFORE(b_);
+  d2tree::Mutex b_;
+  int steps_ D2T_GUARDED_BY(b_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  Ordered o;
+  o.Forwards();
+  return c.Get() - 1;
+}

@@ -1,0 +1,31 @@
+// Negative-compile case: lock-order inversion. a_ is declared
+// D2T_ACQUIRED_BEFORE(b_), so taking b_ first MUST fail under Clang
+// with -Wthread-safety-beta -Werror:
+//   error: mutex 'a_' must be acquired before 'b_'
+// This is the compile-time half of the hierarchy check; the
+// rank-numbering half (scripts/check_lock_order.py) runs on every
+// compiler.
+#include "d2tree/common/mutex.h"
+#include "d2tree/common/thread_annotations.h"
+
+namespace {
+
+class Ordered {
+ public:
+  void Backwards() {
+    d2tree::MutexLock hold_b(&b_);
+    d2tree::MutexLock hold_a(&a_);  // inversion — the analysis rejects this
+  }
+
+ private:
+  d2tree::Mutex a_ D2T_ACQUIRED_BEFORE(b_);
+  d2tree::Mutex b_;
+};
+
+}  // namespace
+
+int main() {
+  Ordered o;
+  o.Backwards();
+  return 0;
+}

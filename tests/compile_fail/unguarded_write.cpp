@@ -1,0 +1,27 @@
+// Negative-compile case: writing a D2T_GUARDED_BY field without holding
+// its mutex. Under Clang with -Wthread-safety -Werror this MUST fail:
+//   error: writing variable 'value_' requires holding mutex 'mu_'
+//   exclusively
+// The compile_fail harness asserts the diagnostic appears; if this file
+// ever compiles, the annotation wall is off.
+#include "d2tree/common/mutex.h"
+#include "d2tree/common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() { ++value_; }  // no lock held — the analysis rejects this
+
+ private:
+  d2tree::Mutex mu_;
+  int value_ D2T_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# clang-format wrapper (config: .clang-format).
+#
+# Usage:
+#   tools/lint/format.sh                 # reformat all C++ files in place
+#   tools/lint/format.sh --check         # fail if any file needs changes
+#   tools/lint/format.sh [--check] f...  # restrict to the given files
+#     (CI passes the PR's touched files via `git diff --name-only`)
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+
+FMT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FMT" >/dev/null 2>&1; then
+  echo "error: $FMT not found (set CLANG_FORMAT or install clang-format)" >&2
+  exit 2
+fi
+
+CHECK=0
+if [ "${1:-}" = "--check" ]; then
+  CHECK=1
+  shift
+fi
+
+if [ "$#" -gt 0 ]; then
+  FILES=()
+  for f in "$@"; do
+    case "$f" in
+      *.cpp | *.h) [ -f "$f" ] && FILES+=("$f") ;;
+    esac
+  done
+else
+  mapfile -t FILES < <(find src tests bench examples \
+    \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null | sort)
+fi
+
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "format: no C++ files to check"
+  exit 0
+fi
+
+if [ "$CHECK" -eq 1 ]; then
+  BAD=0
+  for f in "${FILES[@]}"; do
+    if ! "$FMT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+      echo "needs formatting: $f"
+      BAD=1
+    fi
+  done
+  if [ "$BAD" -ne 0 ]; then
+    echo "FAIL: run tools/lint/format.sh to fix"
+    exit 1
+  fi
+  echo "OK: ${#FILES[@]} files clean"
+else
+  "$FMT" -i "${FILES[@]}"
+  echo "formatted ${#FILES[@]} files"
+fi

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# clang-tidy lint wall with a ratchet-only baseline.
+#
+# Runs clang-tidy (config: .clang-tidy) over every translation unit in
+# src/, normalizes the findings to stable check-per-location lines, and
+# diffs them against tools/lint/clang_tidy_baseline.txt:
+#   - a finding not in the baseline  -> FAIL (new debt is rejected)
+#   - a baseline line with no finding -> note (shrink the baseline)
+# The raw report is left at $BUILD_DIR/clang_tidy_report.txt for CI to
+# upload as an artifact.
+#
+# Usage: tools/lint/run_clang_tidy.sh [build-dir]
+#   build-dir defaults to build-lint; it is configured here if it does
+#   not already contain compile_commands.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+BUILD_DIR="${1:-build-lint}"
+BASELINE=tools/lint/clang_tidy_baseline.txt
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "error: $TIDY not found (set CLANG_TIDY or install clang-tidy)" >&2
+  exit 2
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+echo "clang-tidy: ${#SOURCES[@]} translation units, config .clang-tidy"
+
+REPORT="$BUILD_DIR/clang_tidy_report.txt"
+# clang-tidy exits nonzero when it emits warnings; the gate is the
+# baseline diff below, not the raw exit code.
+"$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}" >"$REPORT" 2>/dev/null || true
+
+# Normalize: keep "path:line:col: warning: ... [check]" lines, drop the
+# column (formatting-stable) and sort. Paths are repo-relative.
+normalize() {
+  sed -E -n 's|^.*/?(src/[^:]+):([0-9]+):[0-9]+: warning: (.*)$|\1:\2: \3|p' \
+    "$1" | LC_ALL=C sort -u
+}
+
+CURRENT="$(normalize "$REPORT")"
+KNOWN="$(grep -v -e '^#' -e '^$' "$BASELINE" | LC_ALL=C sort -u || true)"
+
+NEW="$(comm -23 <(printf '%s\n' "$CURRENT" | sed '/^$/d') \
+                <(printf '%s\n' "$KNOWN" | sed '/^$/d'))"
+FIXED="$(comm -13 <(printf '%s\n' "$CURRENT" | sed '/^$/d') \
+                  <(printf '%s\n' "$KNOWN" | sed '/^$/d'))"
+
+if [ -n "$FIXED" ]; then
+  echo "note: baseline entries no longer reported (remove from $BASELINE):"
+  printf '%s\n' "$FIXED" | sed 's/^/  /'
+fi
+
+if [ -n "$NEW" ]; then
+  echo "FAIL: new clang-tidy findings (fix them or, for accepted debt,"
+  echo "add to $BASELINE with justification):"
+  printf '%s\n' "$NEW" | sed 's/^/  /'
+  exit 1
+fi
+
+echo "OK: no clang-tidy findings beyond the baseline"
