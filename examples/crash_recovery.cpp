@@ -1,0 +1,171 @@
+// Crash-recovery smoke: trip a crash at every named site (torn and intact
+// WAL tails), Recover(), and report recovery wall time percentiles plus
+// WAL replay volume against the subtree count as JSON — the CI artifact
+// (BENCH_recovery.json) that tracks recovery cost over time.
+//
+//   example_crash_recovery [output.json] [reps]
+//
+// Every recovery is audited with d2fsck; exit code is nonzero if any
+// audit fails, so the CI step doubles as a correctness gate.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "d2tree/durability/crash_point.h"
+#include "d2tree/durability/fsck.h"
+#include "d2tree/mds/cluster.h"
+#include "d2tree/metrics/metrics.h"
+#include "d2tree/trace/profiles.h"
+
+using namespace d2tree;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+MdsId VictimWithSubtrees(const FunctionalCluster& cluster) {
+  const auto owners = cluster.scheme().subtree_owners();
+  for (MdsId k = 0; k < static_cast<MdsId>(cluster.mds_count()); ++k) {
+    std::size_t held = 0;
+    for (const MdsId o : owners) held += (o == k);
+    if (held > 0) return k;
+  }
+  return -1;
+}
+
+struct SiteTally {
+  std::size_t recoveries = 0;
+  std::size_t rolled_forward = 0;
+  std::size_t rolled_back = 0;
+  std::size_t torn_tails = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_recovery.json";
+  const std::size_t reps =
+      argc > 2 ? static_cast<std::size_t>(std::strtoul(argv[2], nullptr, 10))
+               : 3;
+  const std::size_t mds_count = 4;
+
+  const Workload w = GenerateWorkload(DtrProfile(0.05));
+  LatencyHistogram recovery_wall_us;
+  SiteTally per_site[kCrashSiteCount];
+  std::size_t replayed_min = SIZE_MAX, replayed_max = 0, replayed_sum = 0;
+  std::size_t recoveries = 0;
+  std::size_t subtree_count = 0;
+  bool all_clean = true;
+  std::uint64_t mtime = 0;
+
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    FunctionalCluster cluster(w.tree, mds_count);
+    subtree_count = cluster.scheme().layers().subtrees.size();
+    for (NodeId id = 0; id < w.tree.size(); id += 3)
+      cluster.Stat(w.tree.PathOf(id));
+
+    for (std::size_t s = 0; s < kCrashSiteCount; ++s) {
+      const auto site = static_cast<CrashSite>(s);
+      for (const bool torn : {false, true}) {
+        MdsId victim = -1;
+        if (site != CrashSite::kAfterGlBump) {
+          victim = VictimWithSubtrees(cluster);
+          if (victim < 0) continue;
+        }
+        cluster.ArmCrash(site, torn);
+        if (site == CrashSite::kAfterGlBump) {
+          cluster.Update("/", ++mtime);
+        } else {
+          cluster.SetHeartbeatSuppressed(victim, true);
+          cluster.RunAdjustmentRound();
+        }
+        if (!cluster.crashed()) {
+          std::fprintf(stderr, "site %s never tripped\n", CrashSiteName(site));
+          all_clean = false;
+          continue;
+        }
+
+        const auto t0 = Clock::now();
+        const auto recovery = cluster.Recover();
+        const double wall_us =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - t0)
+                    .count()) /
+            1e3;
+        if (victim >= 0) cluster.SetHeartbeatSuppressed(victim, false);
+
+        recovery_wall_us.Record(wall_us);
+        ++recoveries;
+        SiteTally& tally = per_site[s];
+        ++tally.recoveries;
+        tally.rolled_forward += recovery.migrations_rolled_forward;
+        tally.rolled_back += recovery.migrations_rolled_back;
+        tally.torn_tails += recovery.torn_tail_detected ? 1 : 0;
+        replayed_min = std::min(replayed_min, recovery.wal_records_replayed);
+        replayed_max = std::max(replayed_max, recovery.wal_records_replayed);
+        replayed_sum += recovery.wal_records_replayed;
+
+        const FsckReport fsck = FsckCluster(cluster);
+        if (!fsck.clean()) {
+          std::fprintf(stderr, "d2fsck UNCLEAN after %s%s:\n%s",
+                       CrashSiteName(site), torn ? " (torn)" : "",
+                       FormatFsckReport(fsck).c_str());
+          all_clean = false;
+        }
+        cluster.RunAdjustmentRound();  // stabilize before the next site
+      }
+    }
+  }
+
+  std::string json = "{\n";
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"bench\": \"crash_recovery\",\n"
+      "  \"mds\": %zu, \"tree_nodes\": %zu, \"subtrees\": %zu,\n"
+      "  \"recoveries\": %zu,\n"
+      "  \"recovery_wall_us\": {\"mean\": %.2f, \"p50\": %.2f, "
+      "\"p99\": %.2f, \"max\": %.2f},\n"
+      "  \"wal_records_replayed\": {\"min\": %zu, \"mean\": %.1f, "
+      "\"max\": %zu},\n"
+      "  \"fsck_clean\": %s,\n",
+      mds_count, w.tree.size(), subtree_count, recoveries,
+      recovery_wall_us.mean(), recovery_wall_us.Quantile(0.5),
+      recovery_wall_us.Quantile(0.99), recovery_wall_us.max(),
+      recoveries > 0 ? replayed_min : 0,
+      recoveries > 0 ? static_cast<double>(replayed_sum) /
+                           static_cast<double>(recoveries)
+                     : 0.0,
+      replayed_max, all_clean ? "true" : "false");
+  json += buf;
+  json += "  \"per_site\": [\n";
+  for (std::size_t s = 0; s < kCrashSiteCount; ++s) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"site\": \"%s\", \"recoveries\": %zu, "
+                  "\"rolled_forward\": %zu, \"rolled_back\": %zu, "
+                  "\"torn_tails\": %zu}%s\n",
+                  CrashSiteName(static_cast<CrashSite>(s)),
+                  per_site[s].recoveries, per_site[s].rolled_forward,
+                  per_site[s].rolled_back, per_site[s].torn_tails,
+                  s + 1 == kCrashSiteCount ? "" : ",");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 2;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+
+  std::printf("%s", json.c_str());
+  std::printf("wrote %s; %zu recoveries, d2fsck %s\n", out_path, recoveries,
+              all_clean ? "CLEAN" : "UNCLEAN");
+  return all_clean && recoveries > 0 ? 0 : 1;
+}

@@ -6,7 +6,10 @@
 // experiments").
 //
 //   example_failure_recovery [mds] [threads] [ops/thread] [kills]
-//                            [revives] [adds] [schedule-seed]
+//                            [revives] [adds] [schedule-seed] [crashes]
+//
+// With [crashes] > 0 the schedule also arms whole-service crashes at
+// seeded WAL sites (each paired with a recovery) — see DESIGN.md §7.
 #include <cstdio>
 #include <cstdlib>
 
@@ -23,7 +26,8 @@ namespace {
   std::fprintf(stderr,
                "invalid argument: %s\n"
                "usage: example_failure_recovery [mds >= 2] [threads] "
-               "[ops/thread] [kills] [revives] [adds] [schedule-seed]\n",
+               "[ops/thread] [kills] [revives] [adds] [schedule-seed] "
+               "[crashes]\n",
                bad);
   std::exit(2);
 }
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
   if (argc > 6) mix.server_additions = ParseCount(argv[6], 0);
   const std::uint64_t schedule_seed =
       argc > 7 ? ParseCount(argv[7], 0) : 0x5EED;
+  if (argc > 8) mix.crashes = ParseCount(argv[8], 0);
 
   const std::size_t total_ops = cfg.thread_count * cfg.ops_per_thread;
   cfg.fault_schedule =
@@ -84,6 +89,17 @@ int main(int argc, char** argv) {
               r.adjustment_rounds_run, r.migrated_records);
   std::printf("  membership  : %zu servers, %zu alive\n", r.final_mds_count,
               r.final_alive_count);
+  std::printf("  retries     : %lu control re-sends, %lu deadline-exceeded\n",
+              static_cast<unsigned long>(r.retries),
+              static_cast<unsigned long>(r.deadline_exceeded));
+  std::printf("  durability  : %lu crashes tripped, %lu recoveries, "
+              "%lu duplicate pulls dropped\n",
+              static_cast<unsigned long>(r.crashes_injected),
+              static_cast<unsigned long>(r.recoveries_completed),
+              static_cast<unsigned long>(r.duplicate_pulls_dropped));
+  if (r.recovered_before_audit)
+    std::printf("  WAL replay  : %zu records (service was down at run end)\n",
+                r.wal_records_replayed);
   std::printf("  consistency : %s%s\n", r.consistent ? "CLEAN" : "BROKEN: ",
               r.consistent ? "" : r.consistency_error.c_str());
   return r.consistent ? 0 : 1;

@@ -113,4 +113,11 @@ RebalanceResult D2TreeScheme::Rebalance(const NamespaceTree& tree,
   return r;
 }
 
+void D2TreeScheme::SetSubtreeOwner(std::size_t index, MdsId owner) {
+  if (index >= subtree_owner_.size()) return;
+  subtree_owner_[index] = owner;
+  const Subtree& st = layers_.subtrees[index];
+  index_.SetOwner(st.root, st.inter_parent, owner);
+}
+
 }  // namespace d2tree

@@ -65,6 +65,13 @@ class D2TreeScheme : public Partitioner {
   const std::vector<MdsId>& subtree_owners() const noexcept {
     return subtree_owner_;
   }
+
+  /// Forces subtree `index`'s owner to `owner`, updating the local index
+  /// in step. Crash recovery uses this to resynchronize the in-memory
+  /// planner state with the placement reconstructed from the WAL (a
+  /// planned-but-rolled-back migration must not linger in the index).
+  void SetSubtreeOwner(std::size_t index, MdsId owner);
+
   Monitor& monitor() noexcept { return monitor_; }
 
   const D2TreeConfig& config() const noexcept { return config_; }

@@ -1,0 +1,38 @@
+// Named crash sites of the two-phase subtree handoff (DESIGN.md §7).
+//
+// The migration protocol journals INTENT → PREPARE → COMMIT records to the
+// Monitor's write-ahead log; each named site below sits *between* two of
+// those durable steps, so arming a crash there (FaultKind::kCrashAtSite,
+// or FunctionalCluster::ArmCrash directly) reproduces exactly one of the
+// partial-failure windows recovery must handle:
+//
+//   kAfterIntent       intent journaled, nothing moved       → roll back
+//   kAfterPrepare      records parked in the pending pool    → roll forward
+//   kAfterPull         pull delivered, receiver journaled it → roll forward
+//   kAfterCommitLocal  Monitor commit durable, in-memory
+//                      placement not yet updated             → roll forward
+//   kAfterGlBump       GL version bump journaled, replica
+//                      broadcast incomplete                  → rebuild at
+//                                                              WAL version
+//
+// A crash can additionally tear the last WAL record (torn-write
+// truncation); replay must then treat the torn record as never written.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace d2tree {
+
+enum class CrashSite : std::uint8_t {
+  kAfterIntent = 0,
+  kAfterPrepare,
+  kAfterPull,
+  kAfterCommitLocal,
+  kAfterGlBump,
+};
+inline constexpr std::size_t kCrashSiteCount = 5;
+
+const char* CrashSiteName(CrashSite site);
+
+}  // namespace d2tree

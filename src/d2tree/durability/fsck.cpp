@@ -1,0 +1,214 @@
+#include "d2tree/durability/fsck.h"
+
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+
+#include "d2tree/mds/cluster.h"
+
+namespace d2tree {
+
+namespace {
+
+void AddIssue(FsckReport& report, std::string check, std::string detail) {
+  report.issues.push_back({std::move(check), std::move(detail)});
+}
+
+std::string IdStr(std::uint64_t id) { return std::to_string(id); }
+
+/// Per-migration fold of a journal, shared by both modes.
+struct MigrationFold {
+  bool intent = false;
+  bool prepared = false;
+  bool committed = false;
+  bool aborted = false;
+};
+
+std::map<std::uint64_t, MigrationFold> FoldMigrations(
+    const std::vector<WalRecord>& journal, FsckReport& report) {
+  std::map<std::uint64_t, MigrationFold> folds;
+  for (const WalRecord& r : journal) {
+    switch (r.type) {
+      case WalRecordType::kMigrationIntent: {
+        MigrationFold& f = folds[r.migration_id];
+        if (f.intent)
+          AddIssue(report, "journal.duplicate-intent",
+                   "migration " + IdStr(r.migration_id) +
+                       " has two INTENT records");
+        f.intent = true;
+        break;
+      }
+      case WalRecordType::kMigrationPrepare: {
+        MigrationFold& f = folds[r.migration_id];
+        if (!f.intent)
+          AddIssue(report, "journal.prepare-without-intent",
+                   "migration " + IdStr(r.migration_id) +
+                       " PREPARE precedes its INTENT");
+        f.prepared = true;
+        break;
+      }
+      case WalRecordType::kMigrationCommit: {
+        MigrationFold& f = folds[r.migration_id];
+        if (!f.prepared)
+          AddIssue(report, "journal.commit-without-prepare",
+                   "migration " + IdStr(r.migration_id) +
+                       " COMMIT without a PREPARE");
+        f.committed = true;
+        break;
+      }
+      case WalRecordType::kMigrationAbort: {
+        MigrationFold& f = folds[r.migration_id];
+        if (!f.intent)
+          AddIssue(report, "journal.abort-without-intent",
+                   "migration " + IdStr(r.migration_id) +
+                       " ABORT without an INTENT");
+        f.aborted = true;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (const auto& [id, f] : folds) {
+    if (f.committed && f.aborted)
+      AddIssue(report, "journal.committed-and-aborted",
+               "migration " + IdStr(id) + " is both committed and aborted");
+    if (f.committed)
+      ++report.migrations_committed;
+    else if (f.aborted)
+      ++report.migrations_aborted;
+    else
+      ++report.migrations_in_flight;
+  }
+  return folds;
+}
+
+}  // namespace
+
+FsckReport FsckJournal(const Wal& wal) {
+  FsckReport report;
+  WalReplayStats stats;
+  const std::vector<WalRecord> journal = wal.Replay(&stats);
+  report.wal_records = stats.records;
+  report.torn_tail = stats.torn_tail;
+  report.torn_bytes = stats.torn_bytes;
+  FoldMigrations(journal, report);
+  return report;
+}
+
+FsckReport FsckCluster(const FunctionalCluster& cluster) {
+  FsckReport report = FsckJournal(cluster.monitor_wal());
+
+  if (cluster.crashed()) {
+    // Nothing live to audit: the volatile world is gone by definition.
+    AddIssue(report, "cluster.crashed",
+             "metadata service is down; run Recover() before auditing");
+    return report;
+  }
+
+  // The cluster's own placement audit: every LL record exactly once at
+  // its owner, GL replicated on every live server, orphans and parked
+  // nodes held by nobody, record ↔ namespace agreement.
+  std::string err;
+  if (!cluster.CheckConsistency(&err))
+    AddIssue(report, "cluster.placement-audit", err);
+
+  // Local index ⇄ Monitor placement agreement, subtree by subtree: the
+  // owner clients route to must be the owner the planner committed, and
+  // the assignment table must paint the subtree root the same way.
+  const D2TreeScheme& scheme = cluster.scheme();
+  const Assignment& assignment = cluster.assignment();
+  const auto& subtrees = scheme.layers().subtrees;
+  const auto& owners = scheme.subtree_owners();
+  const std::size_t mds_count = cluster.mds_count();
+  for (std::size_t i = 0; i < subtrees.size() && i < owners.size(); ++i) {
+    const MdsId owner = owners[i];
+    if (owner < 0 || static_cast<std::size_t>(owner) >= mds_count) {
+      AddIssue(report, "placement.owner-out-of-range",
+               "subtree " + std::to_string(i) + " owned by MDS " +
+                   std::to_string(owner) + " of " +
+                   std::to_string(mds_count));
+      continue;
+    }
+    const auto indexed = scheme.local_index().OwnerOfSubtree(subtrees[i].root);
+    if (!indexed.has_value() || *indexed != owner)
+      AddIssue(report, "placement.index-disagrees",
+               "subtree " + std::to_string(i) + ": index routes to " +
+                   (indexed ? std::to_string(*indexed) : "nobody") +
+                   ", Monitor says " + std::to_string(owner));
+    if (assignment.OwnerOf(subtrees[i].root) != owner)
+      AddIssue(report, "placement.assignment-disagrees",
+               "subtree " + std::to_string(i) + ": assignment says " +
+                   std::to_string(assignment.OwnerOf(subtrees[i].root)) +
+                   ", Monitor says " + std::to_string(owner));
+  }
+
+  // Every live GL replica at the master version.
+  const std::uint64_t master = cluster.gl_master_version();
+  for (MdsId k = 0; k < static_cast<MdsId>(mds_count); ++k) {
+    if (!cluster.IsServerAlive(k)) continue;
+    const std::uint64_t v = cluster.server(k).gl_version();
+    if (v != master)
+      AddIssue(report, "gl.replica-stale",
+               "MDS " + std::to_string(k) + " GL replica at version " +
+                   std::to_string(v) + ", master is " +
+                   std::to_string(master));
+  }
+
+  // Cross-journal: every pull an MDS journaled as applied must trace back
+  // to a migration the Monitor journaled.
+  std::unordered_set<std::uint64_t> known;
+  for (const WalRecord& r : cluster.monitor_wal().Replay())
+    if (r.type == WalRecordType::kMigrationIntent) known.insert(r.migration_id);
+  for (MdsId k = 0; k < static_cast<MdsId>(mds_count); ++k) {
+    for (const WalRecord& r : cluster.mds_wal(k).Replay()) {
+      if (r.type != WalRecordType::kPullApplied) continue;
+      if (!known.contains(r.migration_id))
+        AddIssue(report, "journal.unknown-pull",
+                 "MDS " + std::to_string(k) + " applied pull of migration " +
+                     IdStr(r.migration_id) + " the Monitor never journaled");
+    }
+  }
+
+  // Journal-in-flight migrations must each be a parked handoff awaiting
+  // re-delivery — an in-flight record with nothing parked means a
+  // migration was dropped on the floor.
+  report.parked_nodes = cluster.ParkedNodes().size();
+  const std::size_t parked = cluster.parked_migration_count();
+  if (report.migrations_in_flight != parked)
+    AddIssue(report, "journal.in-flight-unaccounted",
+             std::to_string(report.migrations_in_flight) +
+                 " journal-in-flight migrations vs " + std::to_string(parked) +
+                 " parked handoffs");
+
+  // A torn tail on a *running* cluster means a crash footprint was never
+  // truncated — recovery did not run or did not finish.
+  if (report.torn_tail)
+    AddIssue(report, "journal.torn-tail-live",
+             "running cluster's journal ends in a torn record (" +
+                 std::to_string(report.torn_bytes) + " bytes)");
+
+  return report;
+}
+
+std::string FormatFsckReport(const FsckReport& report) {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "d2fsck: %zu journal records%s, migrations: %zu committed / "
+                "%zu aborted / %zu in flight, %zu parked nodes\n",
+                report.wal_records,
+                report.torn_tail ? " (torn tail)" : "",
+                report.migrations_committed, report.migrations_aborted,
+                report.migrations_in_flight, report.parked_nodes);
+  out += line;
+  for (const FsckIssue& issue : report.issues) {
+    std::snprintf(line, sizeof(line), "  FAIL %s: %s\n", issue.check.c_str(),
+                  issue.detail.c_str());
+    out += line;
+  }
+  out += report.clean() ? "  clean\n" : "  NOT CLEAN\n";
+  return out;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,70 @@
+// d2fsck — the metadata consistency checker (DESIGN.md §7).
+//
+// Two audit modes share one report type:
+//
+//   * FsckJournal — offline: walks a write-ahead log (a live Wal or one
+//     loaded from disk by the d2fsck CLI) and verifies the migration
+//     state machine record by record: every PREPARE follows its INTENT,
+//     every COMMIT its PREPARE, and no migration id is ever both
+//     committed and aborted. Torn tails are reported, not flagged — a
+//     torn last record is the legitimate footprint of a crash, it is
+//     *acting on* a torn log without truncating it that corrupts.
+//
+//   * FsckCluster — online: the journal audit plus the live invariants of
+//     a FunctionalCluster — every local-layer subtree has exactly one
+//     owner and its records sit exactly there (via the cluster's own
+//     placement audit), the client-visible local index agrees with the
+//     Monitor's placement subtree by subtree, every live GL replica is at
+//     the master version, every pull an MDS journaled as applied traces
+//     back to a Monitor-journaled migration, and every journal-in-flight
+//     migration is accounted for by a parked handoff.
+//
+// A clean report after Recover() is the system's crash-consistency
+// criterion; the property sweep in tests/test_crash_recovery.cpp asserts
+// it across every named crash site × random fault schedules.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "d2tree/durability/wal.h"
+
+namespace d2tree {
+
+class FunctionalCluster;
+
+/// One violated invariant: which check tripped, and the evidence.
+struct FsckIssue {
+  std::string check;
+  std::string detail;
+};
+
+struct FsckReport {
+  std::vector<FsckIssue> issues;
+  /// Journal statistics (filled by both modes).
+  std::size_t wal_records = 0;
+  bool torn_tail = false;
+  std::size_t torn_bytes = 0;
+  std::size_t migrations_committed = 0;
+  std::size_t migrations_aborted = 0;
+  /// Intent/prepare without a terminal record — awaiting recovery or a
+  /// parked re-delivery.
+  std::size_t migrations_in_flight = 0;
+  /// Cluster mode only: nodes pinned by parked handoffs.
+  std::size_t parked_nodes = 0;
+
+  bool clean() const noexcept { return issues.empty(); }
+};
+
+/// Offline journal audit (see file comment).
+FsckReport FsckJournal(const Wal& wal);
+
+/// Online cluster audit: journal checks + live placement invariants.
+FsckReport FsckCluster(const FunctionalCluster& cluster);
+
+/// Human-readable rendering for the CLI: one line per issue plus the
+/// summary counters.
+std::string FormatFsckReport(const FsckReport& report);
+
+}  // namespace d2tree

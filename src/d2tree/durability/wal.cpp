@@ -1,0 +1,249 @@
+#include "d2tree/durability/wal.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "d2tree/durability/crash_point.h"
+#include "d2tree/durability/crc32.h"
+
+namespace d2tree {
+
+const char* WalRecordTypeName(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kPlacementSnapshot:
+      return "placement-snapshot";
+    case WalRecordType::kCapacitySnapshot:
+      return "capacity-snapshot";
+    case WalRecordType::kMigrationIntent:
+      return "intent";
+    case WalRecordType::kMigrationPrepare:
+      return "prepare";
+    case WalRecordType::kMigrationCommit:
+      return "commit";
+    case WalRecordType::kMigrationAbort:
+      return "abort";
+    case WalRecordType::kGlVersion:
+      return "gl-version";
+    case WalRecordType::kPullApplied:
+      return "pull-applied";
+  }
+  return "?";
+}
+
+const char* CrashSiteName(CrashSite site) {
+  switch (site) {
+    case CrashSite::kAfterIntent:
+      return "after-intent";
+    case CrashSite::kAfterPrepare:
+      return "after-prepare";
+    case CrashSite::kAfterPull:
+      return "after-pull";
+    case CrashSite::kAfterCommitLocal:
+      return "after-commit-local";
+    case CrashSite::kAfterGlBump:
+      return "after-gl-bump";
+  }
+  return "?";
+}
+
+namespace {
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PutDouble(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// Bounds-checked little-endian reader over one payload.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+
+  bool U32(std::uint32_t* v) {
+    if (len_ - pos_ < 4) return failed_ = true, false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i)
+      *v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+  bool U64(std::uint64_t* v) {
+    if (len_ - pos_ < 8) return failed_ = true, false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i)
+      *v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+  bool Double(double* v) {
+    std::uint64_t bits = 0;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool exhausted() const { return pos_ == len_; }
+  bool failed() const { return failed_; }
+  std::size_t remaining() const { return len_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+constexpr std::size_t kFrameHeader = 8;  // u32 length + u32 crc
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeWalRecord(const WalRecord& r) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + 4 * r.owners.size() + 8 * r.capacities.size());
+  out.push_back(static_cast<std::uint8_t>(r.type));
+  PutU64(out, r.migration_id);
+  PutU64(out, static_cast<std::uint64_t>(r.root));
+  PutU32(out, static_cast<std::uint32_t>(r.from));
+  PutU32(out, static_cast<std::uint32_t>(r.to));
+  PutU64(out, r.version);
+  PutU64(out, r.count);
+  PutU32(out, static_cast<std::uint32_t>(r.owners.size()));
+  for (MdsId o : r.owners) PutU32(out, static_cast<std::uint32_t>(o));
+  PutU32(out, static_cast<std::uint32_t>(r.capacities.size()));
+  for (double c : r.capacities) PutDouble(out, c);
+  return out;
+}
+
+std::optional<WalRecord> DecodeWalRecord(const std::uint8_t* data,
+                                         std::size_t len) {
+  if (len == 0) return std::nullopt;
+  WalRecord r;
+  if (data[0] > static_cast<std::uint8_t>(WalRecordType::kPullApplied))
+    return std::nullopt;
+  r.type = static_cast<WalRecordType>(data[0]);
+  Reader in(data + 1, len - 1);
+  std::uint64_t root = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t n = 0;
+  if (!in.U64(&r.migration_id) || !in.U64(&root) || !in.U32(&from) ||
+      !in.U32(&to) || !in.U64(&r.version) || !in.U64(&r.count) ||
+      !in.U32(&n)) {
+    return std::nullopt;
+  }
+  r.root = static_cast<NodeId>(root);
+  r.from = static_cast<MdsId>(from);
+  r.to = static_cast<MdsId>(to);
+  if (in.remaining() < 4ULL * n) return std::nullopt;
+  r.owners.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t o = 0;
+    in.U32(&o);
+    r.owners.push_back(static_cast<MdsId>(o));
+  }
+  if (!in.U32(&n) || in.remaining() < 8ULL * n) return std::nullopt;
+  r.capacities.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double c = 0.0;
+    in.Double(&c);
+    r.capacities.push_back(c);
+  }
+  if (!in.exhausted() || in.failed()) return std::nullopt;
+  return r;
+}
+
+void Wal::Append(const WalRecord& record) {
+  const std::vector<std::uint8_t> payload = EncodeWalRecord(record);
+  const std::uint32_t crc = Crc32(payload.data(), payload.size());
+  MutexLock lock(&mu_);
+  PutU32(bytes_, static_cast<std::uint32_t>(payload.size()));
+  PutU32(bytes_, crc);
+  bytes_.insert(bytes_.end(), payload.begin(), payload.end());
+  ++appended_;
+}
+
+std::vector<WalRecord> Wal::Replay(WalReplayStats* stats) const {
+  std::vector<std::uint8_t> snapshot;
+  {
+    MutexLock lock(&mu_);
+    snapshot = bytes_;
+  }
+  std::vector<WalRecord> records;
+  WalReplayStats local;
+  std::size_t pos = 0;
+  while (pos + kFrameHeader <= snapshot.size()) {
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(snapshot[pos + i]) << (8 * i);
+      crc |= static_cast<std::uint32_t>(snapshot[pos + 4 + i]) << (8 * i);
+    }
+    const std::size_t payload_at = pos + kFrameHeader;
+    if (payload_at + len > snapshot.size()) break;  // torn payload
+    if (Crc32(snapshot.data() + payload_at, len) != crc) break;  // corrupt
+    auto record = DecodeWalRecord(snapshot.data() + payload_at, len);
+    if (!record.has_value()) break;  // CRC collision on garbage: still torn
+    records.push_back(std::move(*record));
+    ++local.records;
+    pos = payload_at + len;
+  }
+  local.bytes_scanned = pos;
+  local.torn_bytes = snapshot.size() - pos;
+  local.torn_tail = local.torn_bytes > 0;
+  if (stats != nullptr) *stats = local;
+  return records;
+}
+
+void Wal::TruncateTail(std::size_t bytes) {
+  MutexLock lock(&mu_);
+  bytes_.resize(bytes_.size() - std::min(bytes, bytes_.size()));
+}
+
+std::size_t Wal::size_bytes() const {
+  MutexLock lock(&mu_);
+  return bytes_.size();
+}
+
+std::size_t Wal::records_appended() const {
+  MutexLock lock(&mu_);
+  return appended_;
+}
+
+std::vector<std::uint8_t> Wal::Bytes() const {
+  MutexLock lock(&mu_);
+  return bytes_;
+}
+
+void Wal::Assign(std::vector<std::uint8_t> bytes) {
+  MutexLock lock(&mu_);
+  bytes_ = std::move(bytes);
+  appended_ = 0;  // unknown provenance; replay counts what parses
+}
+
+bool Wal::SaveTo(const std::string& path) const {
+  const std::vector<std::uint8_t> snapshot = Bytes();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(snapshot.data()),
+            static_cast<std::streamsize>(snapshot.size()));
+  return static_cast<bool>(out);
+}
+
+bool Wal::LoadFrom(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  Assign(std::move(bytes));
+  return true;
+}
+
+}  // namespace d2tree

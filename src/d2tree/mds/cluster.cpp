@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <map>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "d2tree/core/routing.h"
 
@@ -26,9 +29,16 @@ FunctionalCluster::FunctionalCluster(const NamespaceTree& tree,
   scheme_ = D2TreeScheme(std::move(config));
   assignment_ = scheme_.Partition(tree_, capacities_);
   servers_.reserve(mds_count);
-  for (std::size_t k = 0; k < mds_count; ++k)
+  mds_wals_.reserve(mds_count);
+  for (std::size_t k = 0; k < mds_count; ++k) {
     servers_.push_back(std::make_unique<MdsServer>(static_cast<MdsId>(k)));
+    mds_wals_.push_back(std::make_unique<Wal>());
+  }
   Materialize();
+  // Genesis checkpoint: a crash before the first adjustment round must
+  // recover to the initial partition.
+  JournalCapacitiesLocked();
+  JournalPlacementLocked();
 }
 
 std::size_t FunctionalCluster::mds_count() const {
@@ -66,17 +76,71 @@ MdsCluster FunctionalCluster::CollectHeartbeats() {
       effective.capacities[k] = 0.0;  // dead/silenced servers send nothing
       continue;
     }
-    // Heartbeats are deliberately one-try: their *absence* is the failure
-    // signal, so a retransmitting sender would defeat the detector.
-    const Delivery d = transport_->Send(MdsAddress(static_cast<MdsId>(k)),
-                                        MonitorAddress(), hb);
-    AccountControl(d);
-    if (!d.delivered) {
+    // Heartbeats get one tight retransmit (RetryPolicy::Heartbeat) so a
+    // single stray drop does not fail a healthy server; the budget stays
+    // well inside the heartbeat interval because *absence* is the failure
+    // detector — a partition defeats every retry and the server is still
+    // planned at capacity 0.
+    if (!SendControl(MdsAddress(static_cast<MdsId>(k)), MonitorAddress(), hb,
+                     RetryPolicy::Heartbeat(), k)) {
       effective.capacities[k] = 0.0;
       heartbeats_lost_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return effective;
+}
+
+bool FunctionalCluster::SendControl(const Address& from, const Address& to,
+                                    const Message& msg,
+                                    const RetryPolicy& policy,
+                                    std::uint64_t nonce) {
+  const RetryOutcome out =
+      SendWithRetry(*transport_, from, to, msg, policy, nonce);
+  control_ns_.fetch_add(
+      static_cast<std::uint64_t>(out.delivery.latency_us * 1e3),
+      std::memory_order_relaxed);
+  retries_total_.fetch_add(static_cast<std::uint64_t>(out.retries()),
+                           std::memory_order_relaxed);
+  if (out.deadline_exceeded)
+    deadline_exceeded_total_.fetch_add(1, std::memory_order_relaxed);
+  return out.delivery.delivered;
+}
+
+void FunctionalCluster::ArmCrash(CrashSite site, bool torn_tail) {
+  armed_torn_.store(torn_tail, std::memory_order_release);
+  armed_site_.store(static_cast<int>(site), std::memory_order_release);
+}
+
+bool FunctionalCluster::MaybeCrash(CrashSite site) {
+  int want = static_cast<int>(site);
+  if (armed_site_.load(std::memory_order_acquire) != want) return false;
+  if (!armed_site_.compare_exchange_strong(want, -1,
+                                           std::memory_order_acq_rel))
+    return false;  // another thread consumed the arm
+  if (armed_torn_.exchange(false, std::memory_order_acq_rel)) {
+    // Tear the freshest record mid-frame, as if the power cut during the
+    // append: replay stops at the damaged frame and recovery truncates it.
+    const std::size_t size = monitor_wal_.size_bytes();
+    if (size > 0) monitor_wal_.TruncateTail(std::min<std::size_t>(size, 5));
+  }
+  crashed_.store(true, std::memory_order_release);
+  crashes_injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FunctionalCluster::JournalPlacementLocked() {
+  WalRecord record;
+  record.type = WalRecordType::kPlacementSnapshot;
+  record.owners = scheme_.subtree_owners();
+  record.version = gl_master_version_.load(std::memory_order_acquire);
+  monitor_wal_.Append(record);
+}
+
+void FunctionalCluster::JournalCapacitiesLocked() {
+  WalRecord record;
+  record.type = WalRecordType::kCapacitySnapshot;
+  record.capacities = capacities_.capacities;
+  monitor_wal_.Append(record);
 }
 
 InodeRecord FunctionalCluster::MakeRecord(NodeId id) const {
@@ -145,6 +209,17 @@ void FunctionalCluster::RebuildGlReplicaLocked(MdsId mds) {
 FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
                                                           MdsId at) {
   ClientResult out;
+  if (crashed_.load(std::memory_order_acquire) ||
+      parked_nodes_.contains(target)) {
+    // The metadata service is down (crash armed and fired), or the
+    // target's subtree is parked mid-handoff in the pending pool: nobody
+    // may answer until Recover() / the re-issued pull lands.
+    failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+    out.status = MdsStatus::kUnavailable;
+    out.op_class = OpClass::kFailover;
+    out.hops = 0;  // nothing was contacted
+    return out;
+  }
   const auto ancestors = tree_.AncestorsOf(target);
   out.hops = 1;
   out.served_by = at;
@@ -293,6 +368,14 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
   }
 
   ReaderMutexLock topo(&topo_mu_);
+  if (crashed_.load(std::memory_order_acquire) ||
+      parked_nodes_.contains(target)) {
+    // Service crashed, or the target's subtree is parked mid-handoff.
+    failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+    out.status = MdsStatus::kUnavailable;
+    out.op_class = OpClass::kFailover;
+    return out;
+  }
   const RouteDecision route = DecideRoute(tree_, scheme_.local_index(), target);
   if (route.gl_resident()) {
     // Global-layer update: lock, bump the master version, write every
@@ -332,7 +415,24 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
     out.sim_latency_us += lock_req.latency_us + lock_grant.latency_us;
     const std::uint64_t version =
         gl_master_version_.load(std::memory_order_relaxed) + 1;
+    // WAL discipline: the version bump is durable *before* any replica
+    // applies it, so recovery always rebuilds at (at least) the version a
+    // half-broadcast update reached.
+    {
+      WalRecord bump;
+      bump.type = WalRecordType::kGlVersion;
+      bump.root = target;
+      bump.version = version;
+      monitor_wal_.Append(bump);
+    }
     gl_master_version_.store(version, std::memory_order_release);
+    if (MaybeCrash(CrashSite::kAfterGlBump)) {
+      // Bump journaled, broadcast never started: to the client this is an
+      // outage; Recover() rebuilds every replica at the journaled version.
+      out.status = MdsStatus::kUnavailable;
+      out.op_class = OpClass::kFailover;
+      return out;
+    }
     const Message commit{.type = MsgType::kGlCommit,
                          .target = target,
                          .mtime = mtime,
@@ -415,10 +515,11 @@ bool FunctionalCluster::KillServer(MdsId mds) {
   if (!AliveLocked(mds)) return false;
   if (AliveCountLocked() <= 1) return false;  // keep the namespace reachable
   servers_[mds]->set_alive(false);
-  // A crash loses the volatile stores; orphaned local records are
-  // recovered from the backing store when their subtrees are re-placed.
-  servers_[mds]->local().Clear();
-  servers_[mds]->global_replica().Clear();
+  // A crash loses the volatile stores *and* the in-memory pull-dedup set;
+  // orphaned local records are recovered from the backing store when
+  // their subtrees are re-placed, the dedup set from the server's WAL at
+  // revive.
+  servers_[mds]->LoseVolatileState();
   return true;
 }
 
@@ -442,10 +543,20 @@ bool FunctionalCluster::ReviveServer(MdsId mds) {
   for (NodeId id = 0; id < tree_.size(); ++id) {
     if (assignment_.IsReplicated(id) || assignment_.OwnerOf(id) != mds)
       continue;
+    // A parked node is pinned to an in-flight handoff: its records live
+    // in the pending pool and arrive via the re-issued pull, so the
+    // restart must not conjure a second copy here.
+    if (parked_nodes_.contains(id)) continue;
     servers_[mds]->local().Put(MakeRecord(id));
     ++restored;
   }
   recovered_records_.fetch_add(restored, std::memory_order_relaxed);
+  // The pull-dedup set is volatile; rebuild it from this server's journal
+  // so a pull retransmitted across the crash is still dropped.
+  std::vector<std::uint64_t> applied;
+  for (const WalRecord& r : mds_wals_[mds]->Replay())
+    if (r.type == WalRecordType::kPullApplied) applied.push_back(r.migration_id);
+  servers_[mds]->RestoreAppliedPulls(applied);
   servers_[mds]->set_heartbeats_suppressed(false);
   servers_[mds]->set_alive(true);
   return true;
@@ -455,7 +566,11 @@ MdsId FunctionalCluster::AddServer(double capacity) {
   WriterMutexLock topo(&topo_mu_);
   const MdsId id = static_cast<MdsId>(servers_.size());
   servers_.push_back(std::make_unique<MdsServer>(id));
+  mds_wals_.push_back(std::make_unique<Wal>());
   capacities_.capacities.push_back(capacity);
+  // Membership change is a control-plane transition: checkpoint the new
+  // capacity vector so recovery plans with the grown cluster.
+  JournalCapacitiesLocked();
   MutexLock gl(&gl_mu_);
   RebuildGlReplicaLocked(id);
   return id;
@@ -485,12 +600,67 @@ bool FunctionalCluster::SetMonitorPartition(MdsId mds, bool partitioned) {
                                     partitioned);
 }
 
+std::size_t FunctionalCluster::CompleteParkedLocked() {
+  if (parked_.empty()) return 0;
+  std::size_t moved = 0;
+  std::vector<ParkedMigration> still_parked;
+  for (ParkedMigration& mig : parked_) {
+    if (!AliveLocked(mig.to)) {
+      // The grantee died while the pull was parked: abort the handoff.
+      // The records drop back to the durable backing store; the subtree
+      // is re-placed through the pending pool like any orphan (its
+      // planner owner still points at the dead grantee, i.e. capacity 0).
+      WalRecord abort;
+      abort.type = WalRecordType::kMigrationAbort;
+      abort.migration_id = mig.id;
+      abort.root = mig.root;
+      abort.from = mig.from;
+      abort.to = mig.to;
+      monitor_wal_.Append(abort);
+      for (NodeId v : mig.members) parked_nodes_.erase(v);
+      continue;
+    }
+    Message pull{.type = MsgType::kPendingPoolPull,
+                 .target = mig.root,
+                 .payload_records = mig.records.size(),
+                 .migration_id = mig.id};
+    if (!SendControl(MonitorAddress(), MdsAddress(mig.to), pull,
+                     control_policy_, mig.id)) {
+      still_parked.push_back(std::move(mig));  // link still down: next round
+      continue;
+    }
+    // The pull may be a re-delivery of one the grantee already applied
+    // (e.g. its ack was the lost leg): dedup on the migration id decides.
+    if (servers_[mig.to]->ApplyPull(mig.id, mig.records)) {
+      WalRecord applied;
+      applied.type = WalRecordType::kPullApplied;
+      applied.migration_id = mig.id;
+      applied.count = mig.records.size();
+      mds_wals_[mig.to]->Append(applied);
+    } else {
+      duplicate_pulls_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    WalRecord commit;
+    commit.type = WalRecordType::kMigrationCommit;
+    commit.migration_id = mig.id;
+    commit.root = mig.root;
+    commit.from = mig.from;
+    commit.to = mig.to;
+    monitor_wal_.Append(commit);
+    for (NodeId v : mig.members) parked_nodes_.erase(v);
+    moved += mig.records.size();
+  }
+  parked_ = std::move(still_parked);
+  return moved;
+}
+
 std::size_t FunctionalCluster::RunAdjustmentRound() {
   // Freeze popularity charging, then enter an exclusive placement epoch:
   // no client routes or touches a store while records are in flight
   // between servers (lock order: client_mu_ → topo_mu_).
   MutexLock client(&client_mu_);
   WriterMutexLock topo(&topo_mu_);
+  if (crashed_.load(std::memory_order_acquire)) return 0;
 
   {
     // Defensive sweep: any live server whose GL replica lags the master
@@ -504,8 +674,14 @@ std::size_t FunctionalCluster::RunAdjustmentRound() {
         RebuildGlReplicaLocked(server->id());
   }
 
+  // Re-issue the pull of any migration a partition parked in an earlier
+  // round (dedup on the migration id makes a re-delivery safe).
+  std::size_t moved_records = CompleteParkedLocked();
+
   const MdsCluster effective = CollectHeartbeats();
-  if (effective.TotalCapacity() <= 0.0) return 0;  // nobody can take load
+  if (effective.TotalCapacity() <= 0.0)
+    return moved_records;  // nobody can take load
+  JournalCapacitiesLocked();
 
   tree_.RecomputeSubtreePopularity();
   const auto owners_before = scheme_.subtree_owners();
@@ -514,12 +690,36 @@ std::size_t FunctionalCluster::RunAdjustmentRound() {
   const auto& owners_after = scheme_.subtree_owners();
   const auto& subtrees = scheme_.layers().subtrees;
 
-  // Physically move each migrated subtree's records.
-  std::size_t moved_records = 0;
+  // Physically move each migrated subtree's records through the journaled
+  // two-phase handoff: INTENT (planned, nothing moved) → PREPARE (records
+  // extracted into the pending pool) → pull delivered + applied (the
+  // receiver journals it) → COMMIT (ownership durable). A crash between
+  // any two steps lands on exactly one side of the protocol: intent-only
+  // rolls back, prepared-or-later rolls forward — never a duplicate,
+  // never an orphan.
+  std::vector<std::size_t> repinned;
   for (std::size_t i = 0; i < subtrees.size(); ++i) {
     const MdsId from = owners_before[i];
     const MdsId to = owners_after[i];
     if (from == to) continue;
+    if (parked_nodes_.contains(subtrees[i].root)) {
+      // In-flight handoff: the subtree stays pinned to its parked grantee
+      // until that pull lands or aborts — re-planning it mid-flight would
+      // put the same records in two migrations at once.
+      scheme_.SetSubtreeOwner(i, from);
+      repinned.push_back(i);
+      continue;
+    }
+    const std::uint64_t mig_id = next_migration_id_++;
+    WalRecord intent;
+    intent.type = WalRecordType::kMigrationIntent;
+    intent.migration_id = mig_id;
+    intent.root = subtrees[i].root;
+    intent.from = from;
+    intent.to = to;
+    monitor_wal_.Append(intent);
+    if (MaybeCrash(CrashSite::kAfterIntent)) return moved_records;
+
     std::vector<NodeId> members;
     members.reserve(subtrees[i].node_count);
     tree_.VisitSubtree(subtrees[i].root,
@@ -538,25 +738,72 @@ std::size_t FunctionalCluster::RunAdjustmentRound() {
       recovered_records_.fetch_add(members.size() - extracted.size(),
                                    std::memory_order_relaxed);
     }
-    moved_records += records.size();
+    // The records are now parked in the pending pool — durable by
+    // construction (the backing store can always regenerate them), so
+    // from here the migration rolls *forward* after a crash.
+    WalRecord prepare = intent;
+    prepare.type = WalRecordType::kMigrationPrepare;
+    prepare.count = records.size();
+    monitor_wal_.Append(prepare);
     // The migration is a pending-pool round trip (Sec. IV-B): the donor
     // pushes the subtree into the pool, the Monitor grants it to the
-    // puller. The physical move is fenced by the exclusive placement
-    // epoch, so an unreachable donor (crashed, or Monitor⇄MDS partition)
-    // still drains — its lost records were just recovered above, exactly
-    // as for a heartbeat-silent server.
+    // puller. An unreachable donor (crashed, or Monitor⇄MDS partition)
+    // still drains — its lost records were just recovered above.
     Message push{.type = MsgType::kPendingPoolPush,
                  .target = subtrees[i].root,
-                 .payload_records = records.size()};
+                 .payload_records = records.size(),
+                 .migration_id = mig_id};
     if (AliveLocked(from))
-      AccountControl(
-          transport_->SendReliable(MdsAddress(from), MonitorAddress(), push));
-    push.type = MsgType::kPendingPoolPull;
-    AccountControl(
-        transport_->SendReliable(MonitorAddress(), MdsAddress(to), push));
-    servers_[to]->local().InsertAll(records);
+      SendControl(MdsAddress(from), MonitorAddress(), push, control_policy_,
+                  mig_id);
+    if (MaybeCrash(CrashSite::kAfterPrepare)) return moved_records;
+
+    Message pull = push;
+    pull.type = MsgType::kPendingPoolPull;
+    if (!SendControl(MonitorAddress(), MdsAddress(to), pull, control_policy_,
+                     mig_id)) {
+      // The grant cannot reach the puller (Monitor⇄MDS partition outlasted
+      // every retry): park the migration instead of committing blind. The
+      // records wait in the pool, the member nodes answer kUnavailable,
+      // and the next round re-issues the pull.
+      ParkedMigration mig;
+      mig.id = mig_id;
+      mig.root = subtrees[i].root;
+      mig.from = from;
+      mig.to = to;
+      mig.members = std::move(members);
+      mig.records = std::move(records);
+      for (NodeId v : mig.members) parked_nodes_.insert(v);
+      parked_.push_back(std::move(mig));
+      continue;
+    }
+    if (servers_[to]->ApplyPull(mig_id, records)) {
+      WalRecord applied;
+      applied.type = WalRecordType::kPullApplied;
+      applied.migration_id = mig_id;
+      applied.count = records.size();
+      mds_wals_[to]->Append(applied);
+    } else {
+      duplicate_pulls_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (MaybeCrash(CrashSite::kAfterPull)) return moved_records;
+
+    WalRecord commit = intent;
+    commit.type = WalRecordType::kMigrationCommit;
+    monitor_wal_.Append(commit);
+    if (MaybeCrash(CrashSite::kAfterCommitLocal)) return moved_records;
+    moved_records += records.size();
   }
   assignment_ = plan.assignment;
+  // A repinned subtree's committed owner is its parked grantee, not the
+  // owner this round planned: restore it in the fresh assignment too.
+  for (std::size_t i : repinned)
+    tree_.VisitSubtree(subtrees[i].root, [&](NodeId v) {
+      assignment_.owner[v] = owners_before[i];
+    });
+  // Round checkpoint: the next recovery replays from this placement plus
+  // whatever migration records follow it.
+  JournalPlacementLocked();
   adjustment_rounds_.fetch_add(1, std::memory_order_relaxed);
   return moved_records;
 }
@@ -570,6 +817,8 @@ bool FunctionalCluster::CheckConsistency(std::string* error) const {
     if (error != nullptr) *error = std::move(msg);
     return false;
   };
+  if (crashed_.load(std::memory_order_acquire))
+    return fail("metadata service crashed; Recover() before auditing");
   std::vector<const MdsServer*> live;
   for (const auto& server : servers_)
     if (server->alive()) live.push_back(server.get());
@@ -593,7 +842,14 @@ bool FunctionalCluster::CheckConsistency(std::string* error) const {
         if (server->global_replica().Contains(id))
           return fail("LL node " + tree_.PathOf(id) + " found in a GL replica");
       }
-      if (owner_alive) {
+      if (parked_nodes_.contains(id)) {
+        // Mid-handoff: the records sit in the pending pool awaiting the
+        // re-issued pull — nobody may hold them meanwhile (a holder here
+        // is exactly the double-assign the two-phase protocol forbids).
+        if (holders != 0)
+          return fail("parked LL node " + tree_.PathOf(id) +
+                      " held by a live server");
+      } else if (owner_alive) {
         if (holders != 1)
           return fail("LL node " + tree_.PathOf(id) + " held by " +
                       std::to_string(holders) + " servers");
@@ -617,7 +873,9 @@ bool FunctionalCluster::CheckConsistency(std::string* error) const {
   // Record ↔ namespace agreement (spot fields).
   for (NodeId id = 0; id < tree_.size(); ++id) {
     const MdsId owner = assignment_.OwnerOf(id);
-    if (owner != kReplicated && !AliveLocked(owner)) continue;  // orphaned
+    if (owner != kReplicated &&
+        (!AliveLocked(owner) || parked_nodes_.contains(id)))
+      continue;  // orphaned or mid-handoff
     const auto rec = owner == kReplicated
                          ? live.front()->global_replica().Get(id)
                          : servers_[owner]->local().Get(id);
@@ -626,6 +884,187 @@ bool FunctionalCluster::CheckConsistency(std::string* error) const {
       return fail("record mismatch for " + tree_.PathOf(id));
   }
   return true;
+}
+
+FunctionalCluster::RecoveryReport FunctionalCluster::Recover() {
+  // Full quiesce: recovery rebuilds everything the locks guard.
+  MutexLock client(&client_mu_);
+  WriterMutexLock topo(&topo_mu_);
+  MutexLock gl(&gl_mu_);
+  RecoveryReport report;
+  // Disarm any crash that was planted but never tripped: recovery restarts
+  // the service from its journal, which supersedes a still-pending arm.
+  armed_site_.store(-1, std::memory_order_release);
+  armed_torn_.store(false, std::memory_order_release);
+
+  // 1. Replay the Monitor WAL; a torn tail (crash mid-append) is detected
+  //    by the framing CRC, reported, and truncated so future appends start
+  //    on a clean frame boundary.
+  WalReplayStats stats;
+  const std::vector<WalRecord> journal = monitor_wal_.Replay(&stats);
+  report.wal_records_replayed = journal.size();
+  report.torn_tail_detected = stats.torn_tail;
+  report.torn_bytes_discarded = stats.torn_bytes;
+  if (stats.torn_tail) monitor_wal_.TruncateTail(stats.torn_bytes);
+
+  // 2. Fold the journal into placement, capacities, the GL version and
+  //    the set of in-flight migrations.
+  const auto& subtrees = scheme_.layers().subtrees;
+  std::unordered_map<NodeId, std::size_t> index_of_root;
+  index_of_root.reserve(subtrees.size());
+  for (std::size_t i = 0; i < subtrees.size(); ++i)
+    index_of_root.emplace(subtrees[i].root, i);
+  std::vector<MdsId> owners = scheme_.subtree_owners();  // fallback
+  std::vector<double> caps;
+  std::uint64_t gl_version = 1;
+  enum class MigState { kIntent, kPrepared, kCommitted, kAborted };
+  struct Flight {
+    MigState state = MigState::kIntent;
+    NodeId root = kInvalidNode;
+    MdsId from = -1;
+    MdsId to = -1;
+  };
+  std::map<std::uint64_t, Flight> flights;  // ordered: resolve in id order
+  std::uint64_t max_migration_id = 0;
+  for (const WalRecord& r : journal) {
+    switch (r.type) {
+      case WalRecordType::kPlacementSnapshot:
+        if (r.owners.size() == owners.size()) owners = r.owners;
+        gl_version = std::max(gl_version, r.version);
+        break;
+      case WalRecordType::kCapacitySnapshot:
+        caps = r.capacities;
+        break;
+      case WalRecordType::kMigrationIntent:
+        flights[r.migration_id] = {MigState::kIntent, r.root, r.from, r.to};
+        max_migration_id = std::max(max_migration_id, r.migration_id);
+        break;
+      case WalRecordType::kMigrationPrepare: {
+        auto it = flights.find(r.migration_id);
+        if (it != flights.end() && it->second.state == MigState::kIntent)
+          it->second.state = MigState::kPrepared;
+        break;
+      }
+      case WalRecordType::kMigrationCommit: {
+        auto it = flights.find(r.migration_id);
+        if (it != flights.end()) {
+          it->second.state = MigState::kCommitted;
+          auto idx = index_of_root.find(it->second.root);
+          if (idx != index_of_root.end()) owners[idx->second] = it->second.to;
+        }
+        break;
+      }
+      case WalRecordType::kMigrationAbort: {
+        auto it = flights.find(r.migration_id);
+        if (it != flights.end()) it->second.state = MigState::kAborted;
+        break;
+      }
+      case WalRecordType::kGlVersion:
+        gl_version = std::max(gl_version, r.version);
+        break;
+      case WalRecordType::kPullApplied:
+        break;  // MDS-side record type; never in the Monitor's journal
+    }
+  }
+
+  // 3. Resolve in-flight migrations. Intent-only: nothing had moved, the
+  //    subtree stays with its donor — journal the abort. Prepared or
+  //    later: the records were durably parked in the pending pool — land
+  //    them at the grantee and journal the commit. Both decisions are
+  //    idempotent under re-replay (a crash *during* recovery resolves to
+  //    the same outcome).
+  for (auto& [id, flight] : flights) {
+    if (flight.state == MigState::kIntent) {
+      WalRecord abort;
+      abort.type = WalRecordType::kMigrationAbort;
+      abort.migration_id = id;
+      abort.root = flight.root;
+      abort.from = flight.from;
+      abort.to = flight.to;
+      monitor_wal_.Append(abort);
+      ++report.migrations_rolled_back;
+    } else if (flight.state == MigState::kPrepared) {
+      auto idx = index_of_root.find(flight.root);
+      if (idx != index_of_root.end()) owners[idx->second] = flight.to;
+      WalRecord commit;
+      commit.type = WalRecordType::kMigrationCommit;
+      commit.migration_id = id;
+      commit.root = flight.root;
+      commit.from = flight.from;
+      commit.to = flight.to;
+      monitor_wal_.Append(commit);
+      if (flight.to >= 0 &&
+          static_cast<std::size_t>(flight.to) < mds_wals_.size()) {
+        // The grantee may have journaled the pull before the crash (the
+        // crash hit between its journal append and the Monitor's commit):
+        // dedup on its own WAL decides whether this is a re-delivery.
+        bool already_applied = false;
+        for (const WalRecord& r : mds_wals_[flight.to]->Replay())
+          if (r.type == WalRecordType::kPullApplied && r.migration_id == id)
+            already_applied = true;
+        if (already_applied) {
+          duplicate_pulls_dropped_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          WalRecord applied;
+          applied.type = WalRecordType::kPullApplied;
+          applied.migration_id = id;
+          mds_wals_[flight.to]->Append(applied);
+        }
+      }
+      ++report.migrations_rolled_forward;
+    }
+  }
+
+  // 4. Rebuild the volatile world at the recovered placement. Every store
+  //    was lost in the crash; the namespace itself is durable, so local
+  //    records re-materialize from the backing store and GL replicas
+  //    rebuild at the recovered master version.
+  next_migration_id_ = std::max(next_migration_id_, max_migration_id + 1);
+  parked_.clear();
+  parked_nodes_.clear();
+  for (auto& server : servers_) {
+    server->LoseVolatileState();
+    server->set_gl_version(0);
+  }
+  gl_master_version_.store(gl_version, std::memory_order_release);
+  if (caps.size() == capacities_.capacities.size())
+    capacities_.capacities = caps;
+  for (std::size_t i = 0; i < subtrees.size() && i < owners.size(); ++i)
+    scheme_.SetSubtreeOwner(i, owners[i]);
+  assignment_.owner.assign(tree_.size(), kReplicated);
+  assignment_.mds_count = servers_.size();
+  for (std::size_t i = 0; i < subtrees.size() && i < owners.size(); ++i) {
+    const MdsId owner = owners[i];
+    tree_.VisitSubtree(subtrees[i].root,
+                       [&](NodeId v) { assignment_.owner[v] = owner; });
+  }
+  for (const auto& server : servers_)
+    if (server->alive()) RebuildGlReplicaLocked(server->id());
+  std::size_t rematerialized = 0;
+  for (NodeId id = 0; id < tree_.size(); ++id) {
+    const MdsId owner = assignment_.OwnerOf(id);
+    if (owner == kReplicated || !AliveLocked(owner)) continue;
+    servers_[owner]->local().Put(MakeRecord(id));
+    ++rematerialized;
+  }
+  report.records_rematerialized = rematerialized;
+  recovered_records_.fetch_add(rematerialized, std::memory_order_relaxed);
+  // Pull-dedup sets are rebuilt from each server's own journal, so a pull
+  // retransmitted across the crash is still dropped.
+  for (std::size_t k = 0; k < servers_.size(); ++k) {
+    std::vector<std::uint64_t> applied;
+    for (const WalRecord& r : mds_wals_[k]->Replay())
+      if (r.type == WalRecordType::kPullApplied)
+        applied.push_back(r.migration_id);
+    servers_[k]->RestoreAppliedPulls(applied);
+  }
+  // Fresh checkpoint: the next crash replays from here instead of from
+  // genesis.
+  JournalPlacementLocked();
+  report.gl_version = gl_version;
+  crashed_.store(false, std::memory_order_release);
+  recoveries_.fetch_add(1, std::memory_order_relaxed);
+  return report;
 }
 
 }  // namespace d2tree

@@ -41,6 +41,29 @@
 // heartbeats are suppressed (SetHeartbeatSuppressed) is treated as failed
 // by the Monitor and drained, but keeps serving until its subtrees move.
 //
+// Durability & crash recovery (DESIGN.md §7): the Monitor journals every
+// control-plane state transition to an append-only WAL (durability/wal.h)
+// *before* applying it — capacity/placement checkpoints, global-layer
+// version bumps, and the two-phase subtree handoff as INTENT → PREPARE →
+// COMMIT records keyed by a monotonically assigned migration id. Each MDS
+// keeps its own journal of applied pulls, so re-delivered pulls are
+// deduplicated even across restarts. ArmCrash plants a one-shot crash at a
+// named protocol site (durability/crash_point.h), optionally tearing the
+// last WAL record like a real mid-append power cut; once it fires the
+// whole metadata service is down — every client op returns kUnavailable —
+// until Recover() replays the WAL, rolls in-flight migrations forward
+// (prepared or later) or back (intent only), rebuilds every volatile
+// store from the backing namespace, and resynchronizes the planner with
+// the recovered placement. A pull the network refuses to deliver
+// (Monitor⇄MDS partition) parks its migration: the records wait in the
+// pending pool, the subtree is pinned to its grantee (routing answers
+// kUnavailable for its nodes), and the next adjustment round re-issues
+// the pull — receiver dedup on the migration id makes the re-delivery
+// safe, so a healed partition can never double-assign the subtree.
+// Control-plane messages ride a RetryPolicy (net/retry.h): capped
+// exponential backoff with seeded jitter charged as simulated latency,
+// surfaced in retries_total()/deadline_exceeded_total().
+//
 // Threading contract: any number of client threads may call Stat / StatVia
 // / Update concurrently with each other and with RunAdjustmentRound /
 // CheckConsistency / the fault operations (KillServer, ReviveServer,
@@ -60,9 +83,12 @@
 //                    update's version bump + replica broadcast is atomic
 //                    with respect to other writers, replica rebuilds and
 //                    the auditor.
-// Below these nest the per-store locks (MetadataStore::mu_, rank 40) and
-// the transport's link/log locks (SimNetTransport, ranks 50/60) — see
-// DESIGN.md "Lock hierarchy" for the full rank table.
+// Below these nest the per-server pull-dedup lock (MdsServer::pulls_mu_,
+// rank 35), the per-store locks (MetadataStore::mu_, rank 40), the WAL
+// buffer locks (Wal::mu_, rank 45 — journal appends are leaf operations
+// under the placement/GL locks) and the transport's link/log locks
+// (SimNetTransport, ranks 50/60) — see DESIGN.md "Lock hierarchy" for the
+// full rank table.
 // gl_master_version_ is additionally atomic so monitoring reads never race
 // with a broadcast in flight.
 //
@@ -79,12 +105,16 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "d2tree/common/mutex.h"
 #include "d2tree/core/d2tree.h"
+#include "d2tree/durability/crash_point.h"
+#include "d2tree/durability/wal.h"
 #include "d2tree/mds/server.h"
 #include "d2tree/metrics/metrics.h"
+#include "d2tree/net/retry.h"
 #include "d2tree/net/transport.h"
 #include "d2tree/nstree/tree.h"
 
@@ -217,6 +247,66 @@ class FunctionalCluster {
   /// Returns true when clean; otherwise fills `error`.
   bool CheckConsistency(std::string* error) const;
 
+  // --- Durability & crash recovery (DESIGN.md §7). ---
+
+  /// Arms a one-shot crash at `site`: the next time the protocol reaches
+  /// that point the whole metadata service goes down (crashed() flips,
+  /// every client op answers kUnavailable, the in-flight round unwinds).
+  /// With `torn_tail` the crash additionally rips the last bytes off the
+  /// Monitor WAL, as if the process died mid-append — replay must detect
+  /// the torn record and treat it as never written.
+  void ArmCrash(CrashSite site, bool torn_tail = false);
+
+  /// True between a crash firing and Recover() completing.
+  bool crashed() const noexcept {
+    return crashed_.load(std::memory_order_acquire);
+  }
+
+  struct RecoveryReport {
+    std::size_t wal_records_replayed = 0;
+    bool torn_tail_detected = false;
+    std::size_t torn_bytes_discarded = 0;
+    /// Prepared-but-uncommitted migrations completed at their grantee.
+    std::size_t migrations_rolled_forward = 0;
+    /// Intent-only migrations aborted (nothing had moved).
+    std::size_t migrations_rolled_back = 0;
+    /// Records rebuilt into local stores from the backing namespace.
+    std::size_t records_rematerialized = 0;
+    /// GL master version recovered from the WAL.
+    std::uint64_t gl_version = 0;
+  };
+
+  /// Restarts the metadata service after a crash: replays the Monitor WAL
+  /// (truncating any torn tail), resolves in-flight migrations — intent
+  /// only → journaled abort, prepared or later → journaled commit at the
+  /// grantee — rebuilds every volatile store from the backing namespace at
+  /// the recovered placement, restores each MDS's pull-dedup set from its
+  /// own journal, resynchronizes the planner, and writes a fresh placement
+  /// checkpoint. Idempotent: recovering an uncrashed cluster is a no-op
+  /// rebuild. Dead servers stay dead (their subtrees remain orphaned until
+  /// an adjustment round or ReviveServer).
+  RecoveryReport Recover();
+
+  /// The Monitor's journal (internally locked; safe without the placement
+  /// lock).
+  const Wal& monitor_wal() const noexcept { return monitor_wal_; }
+  /// Server `id`'s applied-pull journal.
+  const Wal& mds_wal(MdsId id) const {
+    ReaderMutexLock topo(&topo_mu_);
+    return *mds_wals_[static_cast<std::size_t>(id)];
+  }
+
+  /// Migrations whose pull is parked in the pending pool awaiting a
+  /// deliverable link, and a snapshot of their member nodes (d2fsck).
+  std::size_t parked_migration_count() const {
+    ReaderMutexLock topo(&topo_mu_);
+    return parked_.size();
+  }
+  std::vector<NodeId> ParkedNodes() const {
+    ReaderMutexLock topo(&topo_mu_);
+    return {parked_nodes_.begin(), parked_nodes_.end()};
+  }
+
   std::uint64_t gl_master_version() const noexcept {
     return gl_master_version_.load(std::memory_order_acquire);
   }
@@ -261,6 +351,25 @@ class FunctionalCluster {
     return static_cast<double>(control_ns_.load()) * 1e-3;
   }
 
+  /// Control-plane retransmissions under the retry/backoff policy, and
+  /// operations that exhausted their per-op deadline despite them.
+  std::uint64_t retries_total() const noexcept { return retries_total_.load(); }
+  std::uint64_t deadline_exceeded_total() const noexcept {
+    return deadline_exceeded_total_.load();
+  }
+  /// Re-delivered pulls the receiver dropped via migration-id dedup — each
+  /// one is a double-apply that did not happen.
+  std::uint64_t duplicate_pulls_dropped() const noexcept {
+    return duplicate_pulls_dropped_.load();
+  }
+  /// Armed crashes that fired / Recover() calls that completed.
+  std::uint64_t crashes_injected() const noexcept {
+    return crashes_injected_.load();
+  }
+  std::uint64_t recoveries_completed() const noexcept {
+    return recoveries_.load();
+  }
+
  private:
   InodeRecord MakeRecord(NodeId id) const;
   /// Loads every record into the right store. Called from the constructor
@@ -290,6 +399,21 @@ class FunctionalCluster {
   MdsCluster CollectHeartbeats() D2T_REQUIRES(topo_mu_);
   /// Re-fills `mds`'s GL replica at the master version.
   void RebuildGlReplicaLocked(MdsId mds) D2T_REQUIRES(topo_mu_, gl_mu_);
+  /// Control-plane send under `policy`: retries with capped backoff,
+  /// charges the accumulated simulated latency to control_ns_ and the
+  /// retry/deadline counters, returns the final delivery verdict.
+  bool SendControl(const Address& from, const Address& to, const Message& msg,
+                   const RetryPolicy& policy, std::uint64_t nonce);
+  /// Fires an armed crash if `site` matches: flips crashed_, optionally
+  /// tears the WAL tail. Returns true when the caller must unwind.
+  bool MaybeCrash(CrashSite site);
+  /// Checkpoints the planner's subtree owners + GL version to the WAL.
+  void JournalPlacementLocked() D2T_REQUIRES(topo_mu_);
+  /// Checkpoints the configured per-MDS capacities to the WAL.
+  void JournalCapacitiesLocked() D2T_REQUIRES(topo_mu_);
+  /// Re-issues the pull of every parked migration whose link heals;
+  /// aborts those whose grantee died. Returns records delivered.
+  std::size_t CompleteParkedLocked() D2T_REQUIRES(topo_mu_);
 
   // tree_ is protocol-guarded, not capability-guarded — see the threading
   // contract at the top of this file.
@@ -310,6 +434,28 @@ class FunctionalCluster {
   Assignment assignment_ D2T_GUARDED_BY(topo_mu_);
   std::vector<std::unique_ptr<MdsServer>> servers_ D2T_GUARDED_BY(topo_mu_);
 
+  // --- Durability state (DESIGN.md §7). The Monitor WAL is internally
+  // --- locked (rank 45) so journal reads never need the placement lock;
+  // --- the per-MDS journals live behind topo_mu_ like the servers.
+  Wal monitor_wal_;
+  std::vector<std::unique_ptr<Wal>> mds_wals_ D2T_GUARDED_BY(topo_mu_);
+  std::uint64_t next_migration_id_ D2T_GUARDED_BY(topo_mu_) = 1;
+  /// A handoff whose pull the network refused to deliver: records wait in
+  /// the pending pool, member nodes are pinned unreachable, the next
+  /// round re-issues the pull (or aborts if the grantee died).
+  struct ParkedMigration {
+    std::uint64_t id = 0;
+    NodeId root = kInvalidNode;
+    MdsId from = -1;
+    MdsId to = -1;
+    std::vector<NodeId> members;
+    std::vector<InodeRecord> records;
+  };
+  std::vector<ParkedMigration> parked_ D2T_GUARDED_BY(topo_mu_);
+  std::unordered_set<NodeId> parked_nodes_ D2T_GUARDED_BY(topo_mu_);
+  /// Default control-plane retry discipline (set once, then read-only).
+  RetryPolicy control_policy_{};
+
   /// The ZooKeeper-style global-layer write lock.
   mutable Mutex gl_mu_ D2T_LOCK_RANK(30);
 
@@ -322,6 +468,17 @@ class FunctionalCluster {
   std::atomic<std::uint64_t> recovered_records_{0};
   std::atomic<std::uint64_t> heartbeats_lost_{0};
   std::atomic<std::uint64_t> control_ns_{0};
+
+  /// Armed crash site (-1 = none) + torn-tail flag; one-shot, consumed by
+  /// MaybeCrash with a compare-exchange so exactly one site fires.
+  std::atomic<int> armed_site_{-1};
+  std::atomic<bool> armed_torn_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<std::uint64_t> retries_total_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_total_{0};
+  std::atomic<std::uint64_t> duplicate_pulls_dropped_{0};
+  std::atomic<std::uint64_t> crashes_injected_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
 };
 
 }  // namespace d2tree

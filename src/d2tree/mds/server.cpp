@@ -35,6 +35,31 @@ MdsOpResult MdsServer::Stat(NodeId target,
   return result;
 }
 
+bool MdsServer::ApplyPull(std::uint64_t migration_id,
+                          const std::vector<InodeRecord>& records) {
+  MutexLock lock(&pulls_mu_);
+  if (!applied_pulls_.insert(migration_id).second) return false;  // dup
+  local_.InsertAll(records);
+  return true;
+}
+
+bool MdsServer::HasAppliedPull(std::uint64_t migration_id) const {
+  MutexLock lock(&pulls_mu_);
+  return applied_pulls_.contains(migration_id);
+}
+
+void MdsServer::RestoreAppliedPulls(const std::vector<std::uint64_t>& ids) {
+  MutexLock lock(&pulls_mu_);
+  applied_pulls_.insert(ids.begin(), ids.end());
+}
+
+void MdsServer::LoseVolatileState() {
+  local_.Clear();
+  global_.Clear();
+  MutexLock lock(&pulls_mu_);
+  applied_pulls_.clear();
+}
+
 MdsOpResult MdsServer::UpdateLocal(NodeId target,
                                    std::span<const NodeId> ancestors,
                                    std::uint64_t mtime) {

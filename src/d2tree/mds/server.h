@@ -7,7 +7,10 @@
 #include <atomic>
 #include <cstdint>
 #include <span>
+#include <unordered_set>
+#include <vector>
 
+#include "d2tree/common/mutex.h"
 #include "d2tree/mds/store.h"
 #include "d2tree/partition/partition.h"
 
@@ -65,6 +68,26 @@ class MdsServer {
   MdsOpResult UpdateLocal(NodeId target, std::span<const NodeId> ancestors,
                           std::uint64_t mtime);
 
+  /// Applies one pending-pool pull: inserts `records` into the local
+  /// store and remembers `migration_id` as applied. Returns false —
+  /// without touching the store — when that id was already applied: the
+  /// receiver-side dedup that makes retransmitted pulls (retry/backoff,
+  /// or a pull re-issued after a Monitor⇄MDS partition heals) safe.
+  bool ApplyPull(std::uint64_t migration_id,
+                 const std::vector<InodeRecord>& records);
+
+  /// True when `migration_id` has been applied here (dedup probe).
+  bool HasAppliedPull(std::uint64_t migration_id) const;
+
+  /// Restores the applied-pull dedup set from a WAL replay (crash
+  /// recovery: the ids come from this server's journaled kPullApplied
+  /// records, so re-delivered pulls stay deduplicated across restarts).
+  void RestoreAppliedPulls(const std::vector<std::uint64_t>& ids);
+
+  /// Volatile-state loss on crash: clears both stores *and* the in-memory
+  /// dedup set (recovery rebuilds it from the WAL).
+  void LoseVolatileState();
+
   /// Operations served (monitoring).
   std::uint64_t ops_served() const noexcept { return ops_.load(); }
 
@@ -77,6 +100,11 @@ class MdsServer {
   MdsId id_;
   MetadataStore local_;
   MetadataStore global_;
+  /// Guards the pull dedup set; rank 35 sits between the cluster's GL
+  /// lock (30) and the per-store lock (40): ApplyPull holds it while
+  /// inserting into the local store.
+  mutable Mutex pulls_mu_ D2T_LOCK_RANK(35);
+  std::unordered_set<std::uint64_t> applied_pulls_ D2T_GUARDED_BY(pulls_mu_);
   std::atomic<std::uint64_t> gl_version_{0};
   std::atomic<bool> alive_{true};
   std::atomic<bool> hb_suppressed_{false};

@@ -62,6 +62,10 @@ struct Message {
   std::uint64_t mtime = 0;            // update payload
   MdsStatus status = MdsStatus::kOk;  // responses
   std::size_t payload_records = 0;    // bulk transfers (migration, rebuild)
+  /// Pending-pool push/pull: the two-phase handoff's migration id. The
+  /// receiver journals and deduplicates on it, so a retransmitted pull
+  /// (retry/backoff discipline, net/retry.h) is applied at most once.
+  std::uint64_t migration_id = 0;
 };
 
 }  // namespace d2tree

@@ -1,0 +1,45 @@
+#include "d2tree/net/retry.h"
+
+#include <algorithm>
+
+#include "d2tree/common/rng.h"
+
+namespace d2tree {
+
+RetryOutcome SendWithRetry(Transport& transport, const Address& from,
+                           const Address& to, const Message& msg,
+                           const RetryPolicy& policy, std::uint64_t nonce) {
+  RetryOutcome out;
+  out.delivery.delivered = false;  // Delivery defaults to true
+  double backoff = policy.base_backoff_us;
+  for (int attempt = 0; attempt < std::max(1, policy.max_attempts);
+       ++attempt) {
+    const Delivery d = transport.Send(from, to, msg);
+    ++out.attempts;
+    out.delivery.latency_us += d.latency_us;
+    if (d.delivered) {
+      out.delivery.delivered = true;
+      return out;
+    }
+    if (attempt + 1 >= std::max(1, policy.max_attempts)) break;
+    // Deterministic jitter in [0.5, 1.5): hash (seed, nonce, attempt) so
+    // concurrent ops decorrelate but the same run replays identically.
+    std::uint64_t sm = policy.jitter_seed ^
+                       (nonce * 0x9E3779B97F4A7C15ULL) ^
+                       static_cast<std::uint64_t>(attempt);
+    const double jitter =
+        0.5 + static_cast<double>(SplitMix64(sm) >> 11) * 0x1.0p-53;
+    out.delivery.latency_us += backoff * jitter;
+    backoff = std::min(backoff * 2.0, policy.backoff_cap_us);
+    if (out.delivery.latency_us > policy.deadline_us) {
+      // Budget exhausted with attempts to spare: a deadline miss, not a
+      // retransmit-limit miss — callers track the two separately.
+      out.deadline_exceeded = true;
+      return out;
+    }
+  }
+  out.deadline_exceeded = out.delivery.latency_us > policy.deadline_us;
+  return out;
+}
+
+}  // namespace d2tree

@@ -70,6 +70,11 @@ ConcurrentReplayReport RunHarness(
   const std::uint64_t sent_before = cluster.transport().messages_sent();
   const std::uint64_t dropped_before = cluster.transport().messages_dropped();
   const std::uint64_t hb_lost_before = cluster.heartbeats_lost();
+  const std::uint64_t retries_before = cluster.retries_total();
+  const std::uint64_t deadline_before = cluster.deadline_exceeded_total();
+  const std::uint64_t crashes_before = cluster.crashes_injected();
+  const std::uint64_t recoveries_before = cluster.recoveries_completed();
+  const std::uint64_t dup_pulls_before = cluster.duplicate_pulls_dropped();
 
   // +1 worker slot for the adjuster, +1 for the timing thread (main).
   std::barrier start(static_cast<std::ptrdiff_t>(config.thread_count) + 2);
@@ -108,6 +113,14 @@ ConcurrentReplayReport RunHarness(
   clients_done.store(true);
   adjuster.join();
 
+  // A crash that tripped with no later kRecover in the schedule leaves the
+  // service down; replay the WAL so the closing audit sees a live tree.
+  if (cluster.crashed()) {
+    const auto recovery = cluster.Recover();
+    report.recovered_before_audit = true;
+    report.wal_records_replayed = recovery.wal_records_replayed;
+  }
+
   // Recovery round: a kill near the end of the replay may leave subtrees
   // orphaned with no adjustment round left to re-place them; with faults
   // in play the harness always closes with one.
@@ -145,6 +158,14 @@ ConcurrentReplayReport RunHarness(
   report.messages_dropped =
       cluster.transport().messages_dropped() - dropped_before;
   report.heartbeats_lost = cluster.heartbeats_lost() - hb_lost_before;
+  report.retries = cluster.retries_total() - retries_before;
+  report.deadline_exceeded =
+      cluster.deadline_exceeded_total() - deadline_before;
+  report.crashes_injected = cluster.crashes_injected() - crashes_before;
+  report.recoveries_completed =
+      cluster.recoveries_completed() - recoveries_before;
+  report.duplicate_pulls_dropped =
+      cluster.duplicate_pulls_dropped() - dup_pulls_before;
   if (injector != nullptr) {
     report.faults_applied = injector->applied();
     report.faults_skipped = injector->skipped();

@@ -114,6 +114,19 @@ struct ConcurrentReplayReport {
   std::size_t final_mds_count = 0;        // membership after the run
   std::size_t final_alive_count = 0;
 
+  // Control-plane retry layer, deltas over the run (net/retry.h).
+  std::uint64_t retries = 0;             // re-sends beyond first attempts
+  std::uint64_t deadline_exceeded = 0;   // ops that ran out their deadline
+  // Durability layer, deltas over the run (DESIGN.md §7).
+  std::uint64_t crashes_injected = 0;        // armed crashes that tripped
+  std::uint64_t recoveries_completed = 0;    // Recover() calls that finished
+  std::uint64_t duplicate_pulls_dropped = 0; // receiver dedup on migration id
+  /// True when the service was still down at the end of the replay (a
+  /// kCrashAtSite with no later kRecover): the harness runs Recover()
+  /// itself before the audit, so `consistent` always reflects a live tree.
+  bool recovered_before_audit = false;
+  std::size_t wal_records_replayed = 0;  // from that recovery, else 0
+
   // Final audit.
   bool consistent = false;
   std::string consistency_error;

@@ -27,6 +27,10 @@ const char* FaultKindName(FaultKind kind) {
       return "monitor-partition";
     case FaultKind::kMonitorPartitionStop:
       return "monitor-heal";
+    case FaultKind::kCrashAtSite:
+      return "crash";
+    case FaultKind::kRecover:
+      return "recover";
   }
   return "?";
 }
@@ -54,6 +58,8 @@ FaultSchedule FaultSchedule::Random(std::uint64_t seed, std::size_t mds_count,
   std::size_t drops = mix.heartbeat_drops;
   std::size_t link_drops = mix.link_drops;
   std::size_t partitions = mix.monitor_partitions;
+  std::size_t crashes = mix.crashes;
+  std::size_t awaiting_recover = 0;
 
   const auto pick_alive = [&]() -> MdsId {
     std::vector<MdsId> candidates;
@@ -62,12 +68,12 @@ FaultSchedule FaultSchedule::Random(std::uint64_t seed, std::size_t mds_count,
     return candidates[rng.NextBounded(candidates.size())];
   };
 
-  std::vector<std::pair<FaultKind, MdsId>> sequence;
+  std::vector<FaultEvent> sequence;
   // Round-robin over the kinds: one of each per round, in an order that
   // guarantees a revive always has a corpse and a resume follows its drop.
   while (kills + revives + additions + drops + link_drops + partitions +
-             awaiting_resume.size() + awaiting_restore.size() +
-             awaiting_heal.size() >
+             crashes + awaiting_recover + awaiting_resume.size() +
+             awaiting_restore.size() + awaiting_heal.size() >
          0) {
     bool progressed = false;
     if (kills > 0 && alive_n > 1) {
@@ -75,33 +81,33 @@ FaultSchedule FaultSchedule::Random(std::uint64_t seed, std::size_t mds_count,
       alive[t] = false;
       --alive_n;
       dead.push_back(t);
-      sequence.emplace_back(FaultKind::kKill, t);
+      sequence.push_back({.kind = FaultKind::kKill, .target = t});
       --kills;
       progressed = true;
     }
     if (drops > 0 && alive_n > 0) {
       const MdsId t = pick_alive();
-      sequence.emplace_back(FaultKind::kDropHeartbeats, t);
+      sequence.push_back({.kind = FaultKind::kDropHeartbeats, .target = t});
       awaiting_resume.push_back(t);
       --drops;
       progressed = true;
     }
     if (link_drops > 0 && alive_n > 0) {
       const MdsId t = pick_alive();
-      sequence.emplace_back(FaultKind::kLinkDropStart, t);
+      sequence.push_back({.kind = FaultKind::kLinkDropStart, .target = t});
       awaiting_restore.push_back(t);
       --link_drops;
       progressed = true;
     }
     if (partitions > 0 && alive_n > 0) {
       const MdsId t = pick_alive();
-      sequence.emplace_back(FaultKind::kMonitorPartitionStart, t);
+      sequence.push_back({.kind = FaultKind::kMonitorPartitionStart, .target = t});
       awaiting_heal.push_back(t);
       --partitions;
       progressed = true;
     }
     if (additions > 0) {
-      sequence.emplace_back(FaultKind::kAddServer, -1);
+      sequence.push_back({.kind = FaultKind::kAddServer, .target = -1});
       alive.push_back(true);
       ++alive_n;
       --additions;
@@ -113,26 +119,42 @@ FaultSchedule FaultSchedule::Random(std::uint64_t seed, std::size_t mds_count,
       dead.erase(dead.begin() + static_cast<std::ptrdiff_t>(pick));
       alive[t] = true;
       ++alive_n;
-      sequence.emplace_back(FaultKind::kRevive, t);
+      sequence.push_back({.kind = FaultKind::kRevive, .target = t});
       --revives;
+      progressed = true;
+    }
+    if (crashes > 0) {
+      FaultEvent e{.kind = FaultKind::kCrashAtSite};
+      e.site = static_cast<CrashSite>(rng.NextBounded(kCrashSiteCount));
+      e.torn_tail = rng.NextBounded(1u << 20) <
+                    static_cast<std::uint64_t>(mix.torn_tail_probability *
+                                               (1u << 20));
+      sequence.push_back(e);
+      ++awaiting_recover;
+      --crashes;
+      progressed = true;
+    }
+    if (crashes == 0 && awaiting_recover > 0) {
+      sequence.push_back({.kind = FaultKind::kRecover});
+      --awaiting_recover;
       progressed = true;
     }
     if (drops == 0 && !awaiting_resume.empty()) {
       const MdsId t = awaiting_resume.front();
       awaiting_resume.erase(awaiting_resume.begin());
-      sequence.emplace_back(FaultKind::kResumeHeartbeats, t);
+      sequence.push_back({.kind = FaultKind::kResumeHeartbeats, .target = t});
       progressed = true;
     }
     if (link_drops == 0 && !awaiting_restore.empty()) {
       const MdsId t = awaiting_restore.front();
       awaiting_restore.erase(awaiting_restore.begin());
-      sequence.emplace_back(FaultKind::kLinkDropStop, t);
+      sequence.push_back({.kind = FaultKind::kLinkDropStop, .target = t});
       progressed = true;
     }
     if (partitions == 0 && !awaiting_heal.empty()) {
       const MdsId t = awaiting_heal.front();
       awaiting_heal.erase(awaiting_heal.begin());
-      sequence.emplace_back(FaultKind::kMonitorPartitionStop, t);
+      sequence.push_back({.kind = FaultKind::kMonitorPartitionStop, .target = t});
       progressed = true;
     }
     // Unsatisfiable leftovers (e.g. more revives than kills, or a kill
@@ -150,7 +172,8 @@ FaultSchedule FaultSchedule::Random(std::uint64_t seed, std::size_t mds_count,
     std::size_t at = lo + (hi - lo) * (i + 1) / (sequence.size() + 1);
     at = std::max(at, prev_at + 1);  // keep the order strict
     prev_at = at;
-    FaultEvent e{at, sequence[i].first, sequence[i].second};
+    FaultEvent e = sequence[i];
+    e.at_op = at;
     if (e.kind == FaultKind::kLinkDropStart)
       e.drop_prob = mix.link_drop_probability;
     schedule.events.push_back(e);
@@ -162,8 +185,14 @@ std::string FaultSchedule::ToString() const {
   std::string out;
   for (const FaultEvent& e : events) {
     out += "@" + std::to_string(e.at_op) + " " + FaultKindName(e.kind);
-    if (e.kind != FaultKind::kAddServer)
+    if (e.kind != FaultKind::kAddServer && e.kind != FaultKind::kCrashAtSite &&
+        e.kind != FaultKind::kRecover)
       out += " mds=" + std::to_string(e.target);
+    if (e.kind == FaultKind::kCrashAtSite) {
+      out += " site=";
+      out += CrashSiteName(e.site);
+      if (e.torn_tail) out += " torn";
+    }
     if (e.kind == FaultKind::kLinkDropStart) {
       char buf[32];
       std::snprintf(buf, sizeof(buf), " p=%g", e.drop_prob);
@@ -225,6 +254,14 @@ void FaultInjector::FireLocked(const FaultEvent& event) {
       break;
     case FaultKind::kMonitorPartitionStop:
       accepted = cluster_.SetMonitorPartition(event.target, false);
+      break;
+    case FaultKind::kCrashAtSite:
+      cluster_.ArmCrash(event.site, event.torn_tail);
+      accepted = true;
+      break;
+    case FaultKind::kRecover:
+      cluster_.Recover();
+      accepted = true;
       break;
   }
   (accepted ? applied_ : skipped_).fetch_add(1, std::memory_order_relaxed);

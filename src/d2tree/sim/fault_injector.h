@@ -43,6 +43,10 @@ enum class FaultKind : std::uint8_t {
   kLinkDropStop,           // client⇄target link back to lossless
   kMonitorPartitionStart,  // Monitor⇄target cut: heartbeats vanish, drains
   kMonitorPartitionStop,   // Monitor⇄target healed
+  // Durability faults (DESIGN.md §7; target is ignored — the crash takes
+  // down the whole metadata service):
+  kCrashAtSite,  // arm a crash at `site` (optionally tearing the WAL tail)
+  kRecover,      // replay the WAL and restart the service
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -50,8 +54,10 @@ const char* FaultKindName(FaultKind kind);
 struct FaultEvent {
   std::size_t at_op = 0;  // fires once the aggregate op count reaches this
   FaultKind kind = FaultKind::kKill;
-  MdsId target = -1;        // ignored for kAddServer
+  MdsId target = -1;        // ignored for kAddServer/kCrashAtSite/kRecover
   double drop_prob = 1.0;   // kLinkDropStart only
+  CrashSite site = CrashSite::kAfterPrepare;  // kCrashAtSite only
+  bool torn_tail = false;                     // kCrashAtSite only
 
   bool operator==(const FaultEvent&) const = default;
 };
@@ -66,6 +72,12 @@ struct FaultMix {
   std::size_t link_drops = 0;          // client⇄MDS lossy windows
   std::size_t monitor_partitions = 0;  // Monitor⇄MDS partition windows
   double link_drop_probability = 0.35;
+  /// Whole-service crash windows: each arms a crash at a seeded-random
+  /// named site (durability/crash_point.h) and is paired with a later
+  /// kRecover. With `torn_tail_probability` the crash additionally tears
+  /// the last WAL record.
+  std::size_t crashes = 0;
+  double torn_tail_probability = 0.5;
 };
 
 struct FaultSchedule {

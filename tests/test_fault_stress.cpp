@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "d2tree/durability/fsck.h"
 #include "d2tree/mds/cluster.h"
 #include "d2tree/net/simnet.h"
 #include "d2tree/sim/concurrent_replay.h"
@@ -192,6 +193,54 @@ TEST(FaultStress, SimNetStormWithDropsAndPartition) {
     class_total += r.class_ops[c];
   EXPECT_EQ(class_total, r.total_ops);
   EXPECT_TRUE(r.consistent) << r.consistency_error;
+  ExpectNoRecordLost(cluster, w.tree.size());
+}
+
+// Whole-service crash storm racing live traffic: the schedule arms
+// crashes at seeded sites (some with torn WAL tails) and pairs each with
+// a Recover(), while kills and an addition churn membership underneath.
+// Clients in the crash window observe kUnavailable and nothing else; the
+// run must end recovered, d2fsck-clean and with no record lost.
+TEST(FaultStress, CrashStormRecoversCleanUnderConcurrency) {
+  const Workload w = GenerateWorkload(DtrProfile(0.05));
+  FunctionalCluster cluster(w.tree, 4);
+
+  ConcurrentReplayConfig cfg;
+  cfg.thread_count = 4;
+  cfg.ops_per_thread = 3000;
+  cfg.update_fraction = 0.15;  // GL writes reach the kAfterGlBump site
+  cfg.stale_entry_fraction = 0.10;
+  cfg.min_adjustment_rounds = 4;
+  cfg.adjustment_interval_us = 300;  // rounds reach the migration sites
+  cfg.seed = 0xC4A54;
+
+  FaultMix mix;
+  mix.kills = 1;
+  mix.revives = 1;
+  mix.server_additions = 1;
+  mix.crashes = 2;
+  mix.torn_tail_probability = 0.5;
+  const std::size_t total_ops = cfg.thread_count * cfg.ops_per_thread;
+  cfg.fault_schedule = FaultSchedule::Random(0x570A3, 4, total_ops, mix);
+  // kill + revive + addition + 2 crash/recover pairs.
+  ASSERT_EQ(cfg.fault_schedule.events.size(), 7u);
+
+  const ConcurrentReplayReport r = RunConcurrentReplay(cluster, w.tree, cfg);
+
+  EXPECT_EQ(r.total_ops, total_ops);
+  EXPECT_EQ(r.faults_applied, 7u);
+  EXPECT_EQ(r.faults_skipped, 0u);
+  // Every recovery that ran (scheduled kRecover events, plus the
+  // harness's own recover-before-audit if a crash tripped after the last
+  // kRecover) must have completed.
+  EXPECT_GE(r.recoveries_completed, 2u);
+  EXPECT_LE(r.crashes_injected, 2u);  // an arm only trips if a site is hit
+  EXPECT_EQ(r.total_failed, r.total_unavailable)
+      << "crash windows may only surface kUnavailable";
+  EXPECT_FALSE(cluster.crashed());
+  EXPECT_TRUE(r.consistent) << r.consistency_error;
+  const FsckReport fsck = FsckCluster(cluster);
+  EXPECT_TRUE(fsck.clean()) << FormatFsckReport(fsck);
   ExpectNoRecordLost(cluster, w.tree.size());
 }
 
