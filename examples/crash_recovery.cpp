@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <unordered_map>
 
 #include "d2tree/durability/crash_point.h"
 #include "d2tree/durability/fsck.h"
@@ -63,24 +64,63 @@ int main(int argc, char** argv) {
 
   for (std::size_t rep = 0; rep < reps; ++rep) {
     FunctionalCluster cluster(w.tree, mds_count);
+    // Current component name of every subtree root a rename touched (the
+    // cluster's tree copy drifts from `w.tree` as renames commit).
+    std::unordered_map<NodeId, std::string> renamed_roots;
     subtree_count = cluster.scheme().layers().subtrees.size();
     for (NodeId id = 0; id < w.tree.size(); id += 3)
       cluster.Stat(w.tree.PathOf(id));
 
     for (std::size_t s = 0; s < kCrashSiteCount; ++s) {
       const auto site = static_cast<CrashSite>(s);
+      const bool rename_site = s >= kFirstRenameCrashSite;
       for (const bool torn : {false, true}) {
         MdsId victim = -1;
-        if (site != CrashSite::kAfterGlBump) {
+        NodeId rn_root = kInvalidNode;
+        std::string rn_prefix, rn_name;
+        if (site != CrashSite::kAfterGlBump && !rename_site) {
           victim = VictimWithSubtrees(cluster);
           if (victim < 0) continue;
         }
-        cluster.ArmCrash(site, torn);
-        if (site == CrashSite::kAfterGlBump) {
-          cluster.Update("/", ++mtime);
+        if (rename_site) {
+          // Rename protocol sites are reached through the rename
+          // transaction, not the adjustment round: re-home some subtree
+          // whose owner is alive to another alive server. Subtree-root
+          // component names drift as renames commit, so resolve through
+          // the tracker; the GL prefix above a root never changes here.
+          const auto owners = cluster.scheme().subtree_owners();
+          const auto& subtrees = cluster.scheme().layers().subtrees;
+          std::string path;
+          MdsId src = -1;
+          for (std::size_t i = 0; i < subtrees.size() && i < owners.size();
+               ++i) {
+            if (!cluster.IsServerAlive(owners[i])) continue;
+            const std::string orig = w.tree.PathOf(subtrees[i].root);
+            rn_root = subtrees[i].root;
+            rn_prefix = orig.substr(0, orig.find_last_of('/') + 1);
+            const auto it = renamed_roots.find(rn_root);
+            path = it == renamed_roots.end() ? orig : rn_prefix + it->second;
+            src = owners[i];
+            break;
+          }
+          MdsId dst = -1;
+          for (MdsId k = 0; k < static_cast<MdsId>(cluster.mds_count()); ++k)
+            if (k != src && cluster.IsServerAlive(k)) {
+              dst = k;
+              break;
+            }
+          if (path.empty() || dst < 0) continue;
+          rn_name = "bench_rn_" + std::to_string(++mtime);
+          cluster.ArmCrash(site, torn);
+          cluster.RenameTo(path, rn_name, dst);
         } else {
-          cluster.SetHeartbeatSuppressed(victim, true);
-          cluster.RunAdjustmentRound();
+          cluster.ArmCrash(site, torn);
+          if (site == CrashSite::kAfterGlBump) {
+            cluster.Update("/", ++mtime);
+          } else {
+            cluster.SetHeartbeatSuppressed(victim, true);
+            cluster.RunAdjustmentRound();
+          }
         }
         if (!cluster.crashed()) {
           std::fprintf(stderr, "site %s never tripped\n", CrashSiteName(site));
@@ -102,9 +142,15 @@ int main(int argc, char** argv) {
         ++recoveries;
         SiteTally& tally = per_site[s];
         ++tally.recoveries;
-        tally.rolled_forward += recovery.migrations_rolled_forward;
-        tally.rolled_back += recovery.migrations_rolled_back;
+        tally.rolled_forward +=
+            recovery.migrations_rolled_forward + recovery.renames_rolled_forward;
+        tally.rolled_back +=
+            recovery.migrations_rolled_back + recovery.renames_rolled_back;
         tally.torn_tails += recovery.torn_tail_detected ? 1 : 0;
+        if (rn_root != kInvalidNode &&
+            cluster.Stat(rn_prefix + rn_name).status == MdsStatus::kOk) {
+          renamed_roots[rn_root] = rn_name;  // rolled forward or committed
+        }
         replayed_min = std::min(replayed_min, recovery.wal_records_replayed);
         replayed_max = std::max(replayed_max, recovery.wal_records_replayed);
         replayed_sum += recovery.wal_records_replayed;

@@ -16,4 +16,12 @@ MdsId ChooseEntry(const RouteDecision& route, std::size_t mds_count,
   return *route.owner;
 }
 
+RenameRoute DecideRenameRoute(const NamespaceTree& tree,
+                              const LocalIndex& index, NodeId target) {
+  RenameRoute route;
+  route.owner = index.Route(tree, target);
+  route.subtree_root = index.OwnerOfSubtree(target).has_value();
+  return route;
+}
+
 }  // namespace d2tree

@@ -40,4 +40,23 @@ RouteDecision DecideRoute(const NamespaceTree& tree, const LocalIndex& index,
 MdsId ChooseEntry(const RouteDecision& route, std::size_t mds_count,
                   double stale_prob, Rng& rng);
 
+/// The parties of a rename transaction (DESIGN.md §8), derived from the
+/// same cached local index the access logic walks.
+struct RenameRoute {
+  /// Owner of the covering local-layer subtree; nullopt = GL-resident,
+  /// so the rename must update every replica under the GL write lock.
+  std::optional<MdsId> owner;
+  /// True when `target` itself roots a registered local-layer subtree —
+  /// the unit of distribution, and therefore the only granularity at
+  /// which a cross-server re-home (RenameTo) is meaningful.
+  bool subtree_root = false;
+
+  bool gl_resident() const noexcept { return !owner.has_value(); }
+};
+
+/// Resolves the source side of a rename: the record holder(s) of `target`
+/// and whether the node is re-homeable (roots a registered subtree).
+RenameRoute DecideRenameRoute(const NamespaceTree& tree,
+                              const LocalIndex& index, NodeId target);
+
 }  // namespace d2tree

@@ -15,6 +15,20 @@
 //                      broadcast incomplete                  → rebuild at
 //                                                              WAL version
 //
+// The rename transaction (DESIGN.md §8) adds four sites of its own, one
+// per window of the kRenameIntent → kRenamePrepare → apply →
+// kRenameCommit protocol:
+//
+//   kAfterRenameIntent   intent journaled, namespace untouched → roll back
+//   kAfterRenamePrepare  source subtree parked, rename not yet
+//                        applied anywhere                      → roll forward
+//   kAfterRenameApply    destination journaled the transfer,
+//                        namespace renamed, ownership and GL
+//                        version not yet updated               → roll forward
+//   kAfterRenameCommit   commit durable, in-memory indexes
+//                        possibly stale                        → replay
+//                                                                idempotently
+//
 // A crash can additionally tear the last WAL record (torn-write
 // truncation); replay must then treat the torn record as never written.
 #pragma once
@@ -30,8 +44,15 @@ enum class CrashSite : std::uint8_t {
   kAfterPull,
   kAfterCommitLocal,
   kAfterGlBump,
+  kAfterRenameIntent,
+  kAfterRenamePrepare,
+  kAfterRenameApply,
+  kAfterRenameCommit,
 };
-inline constexpr std::size_t kCrashSiteCount = 5;
+inline constexpr std::size_t kCrashSiteCount = 9;
+/// First rename-transaction site (the sites before it belong to the
+/// migration/GL protocols; d2fsck's demo mode switches driver on this).
+inline constexpr std::size_t kFirstRenameCrashSite = 5;
 
 const char* CrashSiteName(CrashSite site);
 

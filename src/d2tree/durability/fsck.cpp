@@ -83,6 +83,83 @@ std::map<std::uint64_t, MigrationFold> FoldMigrations(
   return folds;
 }
 
+/// Per-rename fold (DESIGN.md §8): same shape as migrations, plus the
+/// rename-specific invariants — intent ids strictly increasing in journal
+/// order (shared monotone counter) and a non-empty post-rename name on
+/// every record.
+std::map<std::uint64_t, MigrationFold> FoldRenames(
+    const std::vector<WalRecord>& journal, FsckReport& report) {
+  std::map<std::uint64_t, MigrationFold> folds;
+  std::uint64_t last_intent_id = 0;
+  for (const WalRecord& r : journal) {
+    switch (r.type) {
+      case WalRecordType::kRenameIntent: {
+        MigrationFold& f = folds[r.migration_id];
+        if (f.intent)
+          AddIssue(report, "journal.rename-duplicate-intent",
+                   "rename " + IdStr(r.migration_id) +
+                       " has two INTENT records");
+        f.intent = true;
+        if (r.migration_id <= last_intent_id)
+          AddIssue(report, "journal.rename-id-not-monotone",
+                   "rename INTENT " + IdStr(r.migration_id) +
+                       " journaled after INTENT " + IdStr(last_intent_id));
+        last_intent_id = std::max(last_intent_id, r.migration_id);
+        if (r.name.empty())
+          AddIssue(report, "journal.rename-empty-name",
+                   "rename " + IdStr(r.migration_id) +
+                       " INTENT carries no post-rename name");
+        break;
+      }
+      case WalRecordType::kRenamePrepare: {
+        MigrationFold& f = folds[r.migration_id];
+        if (!f.intent)
+          AddIssue(report, "journal.rename-prepare-without-intent",
+                   "rename " + IdStr(r.migration_id) +
+                       " PREPARE precedes its INTENT");
+        f.prepared = true;
+        if (r.name.empty())
+          AddIssue(report, "journal.rename-empty-name",
+                   "rename " + IdStr(r.migration_id) +
+                       " PREPARE carries no post-rename name");
+        break;
+      }
+      case WalRecordType::kRenameCommit: {
+        MigrationFold& f = folds[r.migration_id];
+        if (!f.prepared)
+          AddIssue(report, "journal.rename-commit-without-prepare",
+                   "rename " + IdStr(r.migration_id) +
+                       " COMMIT without a PREPARE");
+        f.committed = true;
+        break;
+      }
+      case WalRecordType::kRenameAbort: {
+        MigrationFold& f = folds[r.migration_id];
+        if (!f.intent)
+          AddIssue(report, "journal.rename-abort-without-intent",
+                   "rename " + IdStr(r.migration_id) +
+                       " ABORT without an INTENT");
+        f.aborted = true;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (const auto& [id, f] : folds) {
+    if (f.committed && f.aborted)
+      AddIssue(report, "journal.rename-committed-and-aborted",
+               "rename " + IdStr(id) + " is both committed and aborted");
+    if (f.committed)
+      ++report.renames_committed;
+    else if (f.aborted)
+      ++report.renames_aborted;
+    else
+      ++report.renames_in_flight;
+  }
+  return folds;
+}
+
 }  // namespace
 
 FsckReport FsckJournal(const Wal& wal) {
@@ -93,6 +170,7 @@ FsckReport FsckJournal(const Wal& wal) {
   report.torn_tail = stats.torn_tail;
   report.torn_bytes = stats.torn_bytes;
   FoldMigrations(journal, report);
+  FoldRenames(journal, report);
   return report;
 }
 
@@ -156,10 +234,13 @@ FsckReport FsckCluster(const FunctionalCluster& cluster) {
   }
 
   // Cross-journal: every pull an MDS journaled as applied must trace back
-  // to a migration the Monitor journaled.
+  // to a migration — or a cross-server rename, which ships its subtree
+  // through the same deduplicated transfer — the Monitor journaled.
   std::unordered_set<std::uint64_t> known;
   for (const WalRecord& r : cluster.monitor_wal().Replay())
-    if (r.type == WalRecordType::kMigrationIntent) known.insert(r.migration_id);
+    if (r.type == WalRecordType::kMigrationIntent ||
+        r.type == WalRecordType::kRenameIntent)
+      known.insert(r.migration_id);
   for (MdsId k = 0; k < static_cast<MdsId>(mds_count); ++k) {
     for (const WalRecord& r : cluster.mds_wal(k).Replay()) {
       if (r.type != WalRecordType::kPullApplied) continue;
@@ -181,6 +262,26 @@ FsckReport FsckCluster(const FunctionalCluster& cluster) {
                  " journal-in-flight migrations vs " + std::to_string(parked) +
                  " parked handoffs");
 
+  // Renames never park: a rename without a terminal record on a cluster
+  // that answers clients means a transaction was dropped on the floor
+  // (a crashed cluster reports cluster.crashed above instead).
+  if (report.renames_in_flight != 0)
+    AddIssue(report, "journal.rename-in-flight",
+             std::to_string(report.renames_in_flight) +
+                 " rename transaction(s) without a terminal record on a "
+                 "live cluster");
+
+  // Path integrity: every node's reconstructed path resolves back to
+  // exactly that node — renames must never alias two nodes onto one path
+  // (two owners would answer it) or strand a path without a resolver.
+  std::string path_err;
+  const std::size_t aliased = cluster.CheckPathIntegrity(&path_err);
+  if (aliased != 0)
+    AddIssue(report, "namespace.path-aliased",
+             std::to_string(aliased) + " node(s) fail the path round-trip; "
+                                       "first: " +
+                 path_err);
+
   // A torn tail on a *running* cluster means a crash footprint was never
   // truncated — recovery did not run or did not finish.
   if (report.torn_tail)
@@ -193,14 +294,17 @@ FsckReport FsckCluster(const FunctionalCluster& cluster) {
 
 std::string FormatFsckReport(const FsckReport& report) {
   std::string out;
-  char line[192];
+  char line[256];
   std::snprintf(line, sizeof(line),
                 "d2fsck: %zu journal records%s, migrations: %zu committed / "
+                "%zu aborted / %zu in flight, renames: %zu committed / "
                 "%zu aborted / %zu in flight, %zu parked nodes\n",
                 report.wal_records,
                 report.torn_tail ? " (torn tail)" : "",
                 report.migrations_committed, report.migrations_aborted,
-                report.migrations_in_flight, report.parked_nodes);
+                report.migrations_in_flight, report.renames_committed,
+                report.renames_aborted, report.renames_in_flight,
+                report.parked_nodes);
   out += line;
   for (const FsckIssue& issue : report.issues) {
     std::snprintf(line, sizeof(line), "  FAIL %s: %s\n", issue.check.c_str(),

@@ -6,7 +6,11 @@
 //     loaded from disk by the d2fsck CLI) and verifies the migration
 //     state machine record by record: every PREPARE follows its INTENT,
 //     every COMMIT its PREPARE, and no migration id is ever both
-//     committed and aborted. Torn tails are reported, not flagged — a
+//     committed and aborted. Rename transactions (DESIGN.md §8) get the
+//     same state-machine audit plus two of their own: rename intent ids
+//     must be strictly increasing in journal order (they draw from the
+//     shared monotone counter), and every rename record must carry the
+//     post-rename name. Torn tails are reported, not flagged — a
 //     torn last record is the legitimate footprint of a crash, it is
 //     *acting on* a torn log without truncating it that corrupts.
 //
@@ -16,8 +20,14 @@
 //     placement audit), the client-visible local index agrees with the
 //     Monitor's placement subtree by subtree, every live GL replica is at
 //     the master version, every pull an MDS journaled as applied traces
-//     back to a Monitor-journaled migration, and every journal-in-flight
-//     migration is accounted for by a parked handoff.
+//     back to a Monitor-journaled migration or rename, and every
+//     journal-in-flight migration is accounted for by a parked handoff.
+//     Rename invariants on a live cluster: no rename may be journal-in-
+//     flight (renames are synchronous — only a crash leaves one open, and
+//     then the cluster reports crashed instead), and every node's
+//     reconstructed path must resolve back to exactly that node, so no
+//     path ever resolves to two owners and no renamed subtree is
+//     orphaned from the namespace.
 //
 // A clean report after Recover() is the system's crash-consistency
 // criterion; the property sweep in tests/test_crash_recovery.cpp asserts
@@ -51,6 +61,12 @@ struct FsckReport {
   /// Intent/prepare without a terminal record — awaiting recovery or a
   /// parked re-delivery.
   std::size_t migrations_in_flight = 0;
+  /// Rename transactions folded from the journal (DESIGN.md §8).
+  std::size_t renames_committed = 0;
+  std::size_t renames_aborted = 0;
+  /// Rename intent/prepare without a terminal record. Unlike migrations
+  /// these never park: on a live cluster this must be 0.
+  std::size_t renames_in_flight = 0;
   /// Cluster mode only: nodes pinned by parked handoffs.
   std::size_t parked_nodes = 0;
 

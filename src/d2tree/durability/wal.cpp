@@ -26,6 +26,14 @@ const char* WalRecordTypeName(WalRecordType type) {
       return "gl-version";
     case WalRecordType::kPullApplied:
       return "pull-applied";
+    case WalRecordType::kRenameIntent:
+      return "rename-intent";
+    case WalRecordType::kRenamePrepare:
+      return "rename-prepare";
+    case WalRecordType::kRenameCommit:
+      return "rename-commit";
+    case WalRecordType::kRenameAbort:
+      return "rename-abort";
   }
   return "?";
 }
@@ -42,6 +50,14 @@ const char* CrashSiteName(CrashSite site) {
       return "after-commit-local";
     case CrashSite::kAfterGlBump:
       return "after-gl-bump";
+    case CrashSite::kAfterRenameIntent:
+      return "after-rename-intent";
+    case CrashSite::kAfterRenamePrepare:
+      return "after-rename-prepare";
+    case CrashSite::kAfterRenameApply:
+      return "after-rename-apply";
+    case CrashSite::kAfterRenameCommit:
+      return "after-rename-commit";
   }
   return "?";
 }
@@ -90,6 +106,13 @@ class Reader {
     std::memcpy(v, &bits, sizeof(*v));
     return true;
   }
+  void Skip(std::size_t n) {
+    if (len_ - pos_ < n) {
+      failed_ = true;
+      return;
+    }
+    pos_ += n;
+  }
   bool exhausted() const { return pos_ == len_; }
   bool failed() const { return failed_; }
   std::size_t remaining() const { return len_ - pos_; }
@@ -107,7 +130,8 @@ constexpr std::size_t kFrameHeader = 8;  // u32 length + u32 crc
 
 std::vector<std::uint8_t> EncodeWalRecord(const WalRecord& r) {
   std::vector<std::uint8_t> out;
-  out.reserve(64 + 4 * r.owners.size() + 8 * r.capacities.size());
+  out.reserve(64 + 4 * r.owners.size() + 8 * r.capacities.size() +
+              r.name.size() + r.prev_name.size());
   out.push_back(static_cast<std::uint8_t>(r.type));
   PutU64(out, r.migration_id);
   PutU64(out, static_cast<std::uint64_t>(r.root));
@@ -119,6 +143,10 @@ std::vector<std::uint8_t> EncodeWalRecord(const WalRecord& r) {
   for (MdsId o : r.owners) PutU32(out, static_cast<std::uint32_t>(o));
   PutU32(out, static_cast<std::uint32_t>(r.capacities.size()));
   for (double c : r.capacities) PutDouble(out, c);
+  PutU32(out, static_cast<std::uint32_t>(r.name.size()));
+  out.insert(out.end(), r.name.begin(), r.name.end());
+  PutU32(out, static_cast<std::uint32_t>(r.prev_name.size()));
+  out.insert(out.end(), r.prev_name.begin(), r.prev_name.end());
   return out;
 }
 
@@ -126,7 +154,7 @@ std::optional<WalRecord> DecodeWalRecord(const std::uint8_t* data,
                                          std::size_t len) {
   if (len == 0) return std::nullopt;
   WalRecord r;
-  if (data[0] > static_cast<std::uint8_t>(WalRecordType::kPullApplied))
+  if (data[0] > static_cast<std::uint8_t>(WalRecordType::kRenameAbort))
     return std::nullopt;
   r.type = static_cast<WalRecordType>(data[0]);
   Reader in(data + 1, len - 1);
@@ -156,6 +184,14 @@ std::optional<WalRecord> DecodeWalRecord(const std::uint8_t* data,
     in.Double(&c);
     r.capacities.push_back(c);
   }
+  if (!in.U32(&n) || in.remaining() < n) return std::nullopt;
+  r.name.assign(reinterpret_cast<const char*>(data + (len - in.remaining())),
+                n);
+  in.Skip(n);
+  if (!in.U32(&n) || in.remaining() < n) return std::nullopt;
+  r.prev_name.assign(
+      reinterpret_cast<const char*>(data + (len - in.remaining())), n);
+  in.Skip(n);
   if (!in.exhausted() || in.failed()) return std::nullopt;
   return r;
 }

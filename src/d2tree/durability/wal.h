@@ -53,6 +53,17 @@ enum class WalRecordType : std::uint8_t {
   /// MDS side: this server applied the pull of `migration_id`
   /// (`count` records) — replayed to rebuild the receiver's dedup set.
   kPullApplied,
+  /// Atomic rename transaction (DESIGN.md §8), keyed by a rename id drawn
+  /// from the same monotone counter as migration ids:
+  kRenameIntent,   // rename planned: node `root`, new name in `name`,
+                   // old name in `prev_name`, source owner `from` →
+                   // destination owner `to` (from == to for a
+                   // same-server or GL rename)
+  kRenamePrepare,  // source subtree parked (`count` records extracted)
+  kRenameCommit,   // rename + re-home durable; `version` = GL version
+                   // bumped at commit (client cache invalidation)
+  kRenameAbort,    // rolled back: name and ownership unchanged (recovery
+                   // restores `prev_name` if the apply step had run)
 };
 
 const char* WalRecordTypeName(WalRecordType type);
@@ -69,6 +80,8 @@ struct WalRecord {
   std::uint64_t count = 0;    // record counts (prepare/pull payload sizes)
   std::vector<MdsId> owners;  // kPlacementSnapshot
   std::vector<double> capacities;  // kCapacitySnapshot
+  std::string name;       // kRename*: the post-rename component name
+  std::string prev_name;  // kRename*: the pre-rename name (abort restores it)
 
   bool operator==(const WalRecord&) const = default;
 };

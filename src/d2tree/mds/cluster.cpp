@@ -510,6 +510,334 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
   return out;
 }
 
+FunctionalCluster::RenameResult FunctionalCluster::Rename(
+    const std::string& path, const std::string& new_name) {
+  return RenameImpl(path, new_name, std::nullopt);
+}
+
+FunctionalCluster::RenameResult FunctionalCluster::RenameTo(
+    const std::string& path, const std::string& new_name, MdsId dest) {
+  return RenameImpl(path, new_name, dest);
+}
+
+bool FunctionalCluster::ApplyRenameLocked(NodeId id,
+                                          const std::string& new_name) {
+  if (tree_.node(id).name == new_name) return true;  // already applied
+  if (tree_.FindChild(tree_.node(id).parent, new_name) != kInvalidNode)
+    return false;  // a later transaction took the name; keep its outcome
+  tree_.Rename(id, new_name);
+  return true;
+}
+
+FunctionalCluster::RenameResult FunctionalCluster::RenameImpl(
+    const std::string& path, const std::string& new_name,
+    std::optional<MdsId> dest_opt) {
+  RenameResult out;
+  // A rename is a placement-epoch transition, not a data-plane op: it
+  // freezes popularity charging and holds the placement lock exclusively
+  // for the whole transaction, exactly like an adjustment round (lock
+  // order client_mu_ → topo_mu_ → gl_mu_), so clients never observe a
+  // half-renamed namespace.
+  MutexLock client(&client_mu_);
+  WriterMutexLock topo(&topo_mu_);
+  if (crashed_.load(std::memory_order_acquire)) {
+    out.status = MdsStatus::kUnavailable;
+    return out;
+  }
+  const NodeId target = tree_.Resolve(path);
+  if (target == kInvalidNode) return out;  // kNotFound
+  if (target == tree_.root() || new_name.empty() ||
+      new_name.find('/') != std::string::npos) {
+    out.status = MdsStatus::kNotPermitted;
+    return out;
+  }
+  const NodeId sibling = tree_.FindChild(tree_.node(target).parent, new_name);
+  if (sibling == target) {
+    out.status = MdsStatus::kOk;  // renaming to the current name: no-op
+    return out;
+  }
+  if (sibling != kInvalidNode) {
+    out.status = MdsStatus::kNotPermitted;  // sibling collision
+    return out;
+  }
+  if (parked_nodes_.contains(target)) {
+    // Pinned to an in-flight handoff: nobody may touch the subtree until
+    // the parked pull lands or aborts.
+    out.status = MdsStatus::kUnavailable;
+    return out;
+  }
+  tree_.AddAccess(target);  // a rename charges popularity like any access
+
+  const RenameRoute route =
+      DecideRenameRoute(tree_, scheme_.local_index(), target);
+  const MdsId src = route.owner.value_or(kReplicated);
+  MdsId dst = src;
+  if (dest_opt.has_value()) {
+    dst = *dest_opt;
+    if (route.gl_resident() || !route.subtree_root) {
+      // Re-homing is only meaningful at the unit of distribution: a
+      // registered local-layer subtree root.
+      out.status = MdsStatus::kNotPermitted;
+      return out;
+    }
+    if (dst < 0 || static_cast<std::size_t>(dst) >= servers_.size()) {
+      out.status = MdsStatus::kNotPermitted;
+      return out;
+    }
+    if (!AliveLocked(dst)) {
+      out.status = MdsStatus::kUnavailable;
+      return out;
+    }
+  }
+  const bool cross = dst != src;
+  out.cross_server = cross;
+
+  // Coordinator: the source owner when it lives; the destination when a
+  // cross-server rename drains a crashed owner (its records are recovered
+  // from the backing store below); any replica for a GL-resident target.
+  MdsId coord;
+  if (route.gl_resident()) {
+    coord = AnyAliveLocked();
+    if (coord < 0) {
+      out.status = MdsStatus::kUnavailable;
+      return out;
+    }
+  } else if (AliveLocked(src)) {
+    coord = src;
+  } else if (cross) {
+    coord = dst;
+  } else {
+    // In-place rename needs its single write authority.
+    failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+    out.status = MdsStatus::kUnavailable;
+    return out;
+  }
+
+  // Request leg; a lost leg fails the op before anything was journaled.
+  const Message req{.type = MsgType::kRenameRequest, .target = target};
+  const Delivery d = transport_->Send(ClientAddress(), MdsAddress(coord), req);
+  out.sim_latency_us += d.latency_us;
+  if (!d.delivered) {
+    failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+    out.status = MdsStatus::kUnavailable;
+    return out;
+  }
+  // Coordinator ⇄ Monitor lock round: renames serialize through the same
+  // ZooKeeper-style lock service as GL writes (Sec. IV-A3); the Monitor
+  // hands out the transaction id from the shared monotone counter.
+  const Message lock_msg{.type = MsgType::kGlWriteLock, .target = target};
+  const Delivery lock_req =
+      transport_->SendReliable(MdsAddress(coord), MonitorAddress(), lock_msg);
+  const Delivery lock_grant =
+      transport_->SendReliable(MonitorAddress(), MdsAddress(coord), lock_msg);
+  out.sim_latency_us += lock_req.latency_us + lock_grant.latency_us;
+
+  // --- INTENT: the transaction exists, nothing changed. Crash in this
+  // window → Recover() rolls it back (journaled abort).
+  const std::uint64_t rename_id = next_migration_id_++;
+  out.rename_id = rename_id;
+  WalRecord intent;
+  intent.type = WalRecordType::kRenameIntent;
+  intent.migration_id = rename_id;
+  intent.root = target;
+  intent.from = src;
+  intent.to = dst;
+  intent.name = new_name;
+  intent.prev_name = tree_.node(target).name;  // abort restores this
+  monitor_wal_.Append(intent);
+  if (MaybeCrash(CrashSite::kAfterRenameIntent)) {
+    out.status = MdsStatus::kUnavailable;
+    return out;
+  }
+
+  // --- PREPARE: a cross-server rename extracts the subtree from the
+  // source (records a crashed owner lost come back from the backing
+  // store, old names and all — the WAL carries the new one); in-place
+  // renames park nothing. Once the prepare record is durable the
+  // transaction rolls *forward* after a crash.
+  std::vector<NodeId> members;
+  std::vector<InodeRecord> records;
+  if (cross) {
+    members.reserve(tree_.SubtreeSize(target));
+    tree_.VisitSubtree(target, [&](NodeId v) { members.push_back(v); });
+    if (src >= 0 && static_cast<std::size_t>(src) < servers_.size())
+      records = servers_[src]->local().ExtractAll(members);
+    if (records.size() < members.size()) {
+      std::unordered_set<NodeId> extracted;
+      extracted.reserve(records.size());
+      for (const InodeRecord& r : records) extracted.insert(r.id);
+      for (NodeId v : members)
+        if (!extracted.contains(v)) records.push_back(MakeRecord(v));
+      recovered_records_.fetch_add(members.size() - extracted.size(),
+                                   std::memory_order_relaxed);
+    }
+  }
+  WalRecord prepare = intent;
+  prepare.type = WalRecordType::kRenamePrepare;
+  prepare.count = records.size();
+  monitor_wal_.Append(prepare);
+  if (MaybeCrash(CrashSite::kAfterRenamePrepare)) {
+    out.status = MdsStatus::kUnavailable;
+    return out;
+  }
+
+  // --- TRANSFER (cross-server only): the extracted records travel
+  // source → destination under the control-plane retry discipline. A
+  // rename is a synchronous client-facing op, so an undeliverable leg
+  // aborts the transaction (journaled) and restores the source — unlike
+  // migrations, nothing parks.
+  if (cross) {
+    Message xfer{.type = MsgType::kRenamePrepare,
+                 .target = target,
+                 .payload_records = records.size(),
+                 .migration_id = rename_id};
+    if (!SendControl(MdsAddress(src), MdsAddress(dst), xfer, control_policy_,
+                     rename_id)) {
+      WalRecord abort = intent;
+      abort.type = WalRecordType::kRenameAbort;
+      monitor_wal_.Append(abort);
+      if (AliveLocked(src)) servers_[src]->local().InsertAll(records);
+      renames_aborted_.fetch_add(1, std::memory_order_relaxed);
+      out.status = MdsStatus::kUnavailable;
+      return out;
+    }
+  }
+
+  // --- APPLY: the backing tree takes the new name (idempotent — recovery
+  // and journal replay re-apply it), then the records land at their
+  // holder. Crash in this window → roll forward.
+  ApplyRenameLocked(target, new_name);
+  if (cross) {
+    for (InodeRecord& r : records)
+      if (r.id == target) {
+        r.name = new_name;
+        ++r.version;
+      }
+    // Destination-side dedup on the rename id, exactly like a migration
+    // pull: a re-delivered transfer is applied at most once.
+    if (servers_[dst]->ApplyPull(rename_id, records)) {
+      WalRecord applied;
+      applied.type = WalRecordType::kPullApplied;
+      applied.migration_id = rename_id;
+      applied.count = records.size();
+      mds_wals_[dst]->Append(applied);
+    } else {
+      duplicate_pulls_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    out.records_moved = records.size();
+  } else if (!route.gl_resident()) {
+    // In-place local-layer rename: rewrite the record at its owner. (A
+    // GL-resident rename rewrites every live replica under the GL lock
+    // in the commit step below.)
+    auto rec = servers_[src]->local().Get(target);
+    if (rec.has_value()) {
+      rec->name = new_name;
+      ++rec->version;
+      servers_[src]->local().Put(*rec);
+    }
+  }
+  if (MaybeCrash(CrashSite::kAfterRenameApply)) {
+    out.status = MdsStatus::kUnavailable;
+    return out;
+  }
+
+  // --- COMMIT: ownership flips at the unit of distribution, the GL
+  // master version bumps (journaled before any replica applies it) so
+  // every cached client index and lease invalidates, and the commit
+  // record makes the transaction terminal. Crash after the commit record
+  // → replay is idempotent.
+  if (cross) {
+    const auto& subtrees = scheme_.layers().subtrees;
+    for (std::size_t i = 0; i < subtrees.size(); ++i) {
+      if (subtrees[i].root == target) {
+        scheme_.SetSubtreeOwner(i, dst);
+        break;
+      }
+    }
+    for (NodeId v : members) assignment_.owner[v] = dst;
+  }
+  std::uint64_t version = 0;
+  {
+    MutexLock gl(&gl_mu_);
+    version = gl_master_version_.load(std::memory_order_relaxed) + 1;
+    WalRecord bump;
+    bump.type = WalRecordType::kGlVersion;
+    bump.root = target;
+    bump.version = version;
+    monitor_wal_.Append(bump);
+    gl_master_version_.store(version, std::memory_order_release);
+    const Message commit_msg{.type = MsgType::kRenameCommit,
+                             .target = target,
+                             .payload_records = route.gl_resident() ? 1u : 0u,
+                             .migration_id = rename_id};
+    double broadcast_us = 0.0;
+    for (auto& server : servers_) {
+      if (!server->alive()) continue;
+      if (server->id() != coord) {
+        const Delivery leg = transport_->SendReliable(
+            MdsAddress(coord), MdsAddress(server->id()), commit_msg);
+        broadcast_us = std::max(broadcast_us, leg.latency_us);
+      }
+      if (route.gl_resident()) {
+        auto rec = server->global_replica().Get(target);
+        if (rec.has_value()) {
+          rec->name = new_name;
+          ++rec->version;
+          server->global_replica().Put(*rec);
+        }
+      }
+      server->set_gl_version(version);
+    }
+    out.sim_latency_us += broadcast_us;
+  }
+  WalRecord commit = intent;
+  commit.type = WalRecordType::kRenameCommit;
+  commit.version = version;
+  monitor_wal_.Append(commit);
+  renames_committed_.fetch_add(1, std::memory_order_relaxed);
+  if (MaybeCrash(CrashSite::kAfterRenameCommit)) {
+    // Durable but unacknowledged: the client sees an outage; replaying
+    // the journaled commit is a no-op.
+    out.status = MdsStatus::kUnavailable;
+    return out;
+  }
+
+  const Message resp{.type = MsgType::kRenameResponse,
+                     .target = target,
+                     .status = MdsStatus::kOk,
+                     .migration_id = rename_id};
+  const Delivery back =
+      transport_->Send(MdsAddress(coord), ClientAddress(), resp);
+  out.sim_latency_us += back.latency_us;
+  if (!back.delivered) {
+    // Committed but unacknowledged: the client sees a timeout.
+    failover_redirects_.fetch_add(1, std::memory_order_relaxed);
+    out.status = MdsStatus::kUnavailable;
+    return out;
+  }
+  out.status = MdsStatus::kOk;
+  return out;
+}
+
+std::size_t FunctionalCluster::CheckPathIntegrity(std::string* error) const {
+  // Names mutate only under client_mu_ + exclusive topo_mu_ (the rename
+  // transaction's hold), so holding client_mu_ alone fences this audit
+  // against every writer.
+  MutexLock client(&client_mu_);
+  std::size_t violations = 0;
+  for (NodeId id = 0; id < tree_.size(); ++id) {
+    const std::string path = tree_.PathOf(id);
+    const NodeId resolved = tree_.Resolve(path);
+    if (resolved != id) {
+      ++violations;
+      if (error != nullptr && violations == 1)
+        *error = "path " + path + " resolves to node " +
+                 std::to_string(resolved) + ", expected " + std::to_string(id);
+    }
+  }
+  return violations;
+}
+
 bool FunctionalCluster::KillServer(MdsId mds) {
   WriterMutexLock topo(&topo_mu_);
   if (!AliveLocked(mds)) return false;
@@ -925,6 +1253,17 @@ FunctionalCluster::RecoveryReport FunctionalCluster::Recover() {
     MdsId to = -1;
   };
   std::map<std::uint64_t, Flight> flights;  // ordered: resolve in id order
+  // Rename transactions fold the same way; the flight additionally
+  // carries the post-rename name the WAL made durable at intent.
+  struct RenameFlight {
+    MigState state = MigState::kIntent;
+    NodeId root = kInvalidNode;
+    MdsId from = -1;
+    MdsId to = -1;
+    std::string name;
+    std::string prev_name;
+  };
+  std::map<std::uint64_t, RenameFlight> rename_flights;
   std::uint64_t max_migration_id = 0;
   for (const WalRecord& r : journal) {
     switch (r.type) {
@@ -962,6 +1301,39 @@ FunctionalCluster::RecoveryReport FunctionalCluster::Recover() {
       case WalRecordType::kGlVersion:
         gl_version = std::max(gl_version, r.version);
         break;
+      case WalRecordType::kRenameIntent:
+        rename_flights[r.migration_id] = {MigState::kIntent, r.root, r.from,
+                                          r.to, r.name, r.prev_name};
+        max_migration_id = std::max(max_migration_id, r.migration_id);
+        break;
+      case WalRecordType::kRenamePrepare: {
+        auto it = rename_flights.find(r.migration_id);
+        if (it != rename_flights.end() &&
+            it->second.state == MigState::kIntent)
+          it->second.state = MigState::kPrepared;
+        break;
+      }
+      case WalRecordType::kRenameCommit: {
+        auto it = rename_flights.find(r.migration_id);
+        if (it != rename_flights.end()) {
+          it->second.state = MigState::kCommitted;
+          // Re-apply in journal order — a node renamed twice must end at
+          // the later name; each application is idempotent.
+          ApplyRenameLocked(it->second.root, it->second.name);
+          if (it->second.from != it->second.to) {
+            auto idx = index_of_root.find(it->second.root);
+            if (idx != index_of_root.end())
+              owners[idx->second] = it->second.to;
+          }
+        }
+        break;
+      }
+      case WalRecordType::kRenameAbort: {
+        auto it = rename_flights.find(r.migration_id);
+        if (it != rename_flights.end())
+          it->second.state = MigState::kAborted;
+        break;
+      }
       case WalRecordType::kPullApplied:
         break;  // MDS-side record type; never in the Monitor's journal
     }
@@ -1012,6 +1384,75 @@ FunctionalCluster::RecoveryReport FunctionalCluster::Recover() {
         }
       }
       ++report.migrations_rolled_forward;
+    }
+  }
+
+  // 3b. Resolve in-flight renames the same way. Intent-only: the
+  //     namespace never changed — journal the abort. Prepared or later:
+  //     the WAL carries the new name and destination, so apply the rename
+  //     to the backing tree, flip ownership, bump the GL version (cached
+  //     client indexes must invalidate) and journal the commit; the store
+  //     rebuild below rematerializes every record at its post-rename
+  //     truth. Both decisions are idempotent under re-replay.
+  for (auto& [id, flight] : rename_flights) {
+    if (flight.state == MigState::kIntent) {
+      // A torn PREPARE can demote a transaction whose apply step already
+      // ran: the journal's authority says rolled back, so the namespace
+      // must match — restore the pre-rename name the INTENT made durable.
+      if (!flight.prev_name.empty())
+        ApplyRenameLocked(flight.root, flight.prev_name);
+      WalRecord abort;
+      abort.type = WalRecordType::kRenameAbort;
+      abort.migration_id = id;
+      abort.root = flight.root;
+      abort.from = flight.from;
+      abort.to = flight.to;
+      abort.name = flight.name;
+      abort.prev_name = flight.prev_name;
+      monitor_wal_.Append(abort);
+      renames_aborted_.fetch_add(1, std::memory_order_relaxed);
+      ++report.renames_rolled_back;
+    } else if (flight.state == MigState::kPrepared) {
+      ApplyRenameLocked(flight.root, flight.name);
+      if (flight.from != flight.to) {
+        auto idx = index_of_root.find(flight.root);
+        if (idx != index_of_root.end()) owners[idx->second] = flight.to;
+        if (flight.to >= 0 &&
+            static_cast<std::size_t>(flight.to) < mds_wals_.size()) {
+          // The destination may have journaled the transfer before the
+          // crash: dedup on its own WAL, exactly like a migration pull.
+          bool already_applied = false;
+          for (const WalRecord& r : mds_wals_[flight.to]->Replay())
+            if (r.type == WalRecordType::kPullApplied && r.migration_id == id)
+              already_applied = true;
+          if (already_applied) {
+            duplicate_pulls_dropped_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            WalRecord applied;
+            applied.type = WalRecordType::kPullApplied;
+            applied.migration_id = id;
+            mds_wals_[flight.to]->Append(applied);
+          }
+        }
+      }
+      ++gl_version;
+      WalRecord bump;
+      bump.type = WalRecordType::kGlVersion;
+      bump.root = flight.root;
+      bump.version = gl_version;
+      monitor_wal_.Append(bump);
+      WalRecord commit;
+      commit.type = WalRecordType::kRenameCommit;
+      commit.migration_id = id;
+      commit.root = flight.root;
+      commit.from = flight.from;
+      commit.to = flight.to;
+      commit.name = flight.name;
+      commit.prev_name = flight.prev_name;
+      commit.version = gl_version;
+      monitor_wal_.Append(commit);
+      renames_committed_.fetch_add(1, std::memory_order_relaxed);
+      ++report.renames_rolled_forward;
     }
   }
 

@@ -104,6 +104,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -184,6 +185,42 @@ class FunctionalCluster {
   /// targets take the GL lock, bump the master version and write every
   /// live replica before returning (Sec. IV-A3).
   ClientResult Update(const std::string& path, std::uint64_t mtime);
+
+  // --- Atomic rename transactions (DESIGN.md §8). ---
+
+  struct RenameResult {
+    MdsStatus status = MdsStatus::kNotFound;
+    /// Transaction id (shared monotone counter with migration ids);
+    /// 0 when the transaction never started (validation failure).
+    std::uint64_t rename_id = 0;
+    /// True when the transaction re-homed the subtree to another MDS.
+    bool cross_server = false;
+    /// Records shipped source → destination (0 for in-place renames —
+    /// the D2-Tree claim the bench ratchets).
+    std::size_t records_moved = 0;
+    /// Accumulated simulated network latency of every message leg, µs.
+    double sim_latency_us = 0.0;
+  };
+
+  /// Renames `path`'s final component in place, as one journaled
+  /// transaction (kRenameIntent → kRenamePrepare → apply →
+  /// kRenameCommit): a GL-resident target updates every live replica
+  /// under the GL write lock; a local-layer target mutates at its owner.
+  /// Either way the commit bumps the GL master version so cached client
+  /// indexes and leases invalidate. No records change owner — the
+  /// structure-keyed placement claim of Sec. II, executed for real.
+  RenameResult Rename(const std::string& path, const std::string& new_name);
+
+  /// Cross-MDS rename: renames `path` AND re-homes its subtree to `dest`
+  /// in the same two-phase transaction (the source owner parks the
+  /// subtree records, the destination applies them under a deduplicated
+  /// rename id, ownership indexes and the GL version flip at commit).
+  /// `path` must root a registered local-layer subtree — the unit of
+  /// distribution — and `dest` must be alive; kNotPermitted otherwise.
+  /// This is the operation hash-keyed schemes pay for on every directory
+  /// rename; here it runs only when placement policy asks for it.
+  RenameResult RenameTo(const std::string& path, const std::string& new_name,
+                        MdsId dest);
 
   // --- Fault operations (the injector's hook points; each takes the
   // --- placement-epoch lock exclusively, so faults never fire mid-op).
@@ -274,6 +311,11 @@ class FunctionalCluster {
     std::size_t records_rematerialized = 0;
     /// GL master version recovered from the WAL.
     std::uint64_t gl_version = 0;
+    /// Prepared-but-uncommitted renames completed (name + ownership
+    /// applied, commit journaled).
+    std::size_t renames_rolled_forward = 0;
+    /// Intent-only renames aborted (name and ownership unchanged).
+    std::size_t renames_rolled_back = 0;
   };
 
   /// Restarts the metadata service after a crash: replays the Monitor WAL
@@ -370,6 +412,22 @@ class FunctionalCluster {
     return recoveries_.load();
   }
 
+  /// Rename transactions that reached kRenameCommit / kRenameAbort
+  /// (live runs and recovery resolutions both count).
+  std::uint64_t renames_committed() const noexcept {
+    return renames_committed_.load();
+  }
+  std::uint64_t renames_aborted() const noexcept {
+    return renames_aborted_.load();
+  }
+
+  /// Path-integrity audit (d2fsck's "no path resolves to two owners"):
+  /// for every node, the path reconstructed from the live tree must
+  /// resolve back to exactly that node — renames must never alias two
+  /// nodes onto one path or strand a path without a resolver. Returns
+  /// the number of violations, filling `error` with the first.
+  std::size_t CheckPathIntegrity(std::string* error) const;
+
  private:
   InodeRecord MakeRecord(NodeId id) const;
   /// Loads every record into the right store. Called from the constructor
@@ -414,6 +472,15 @@ class FunctionalCluster {
   /// Re-issues the pull of every parked migration whose link heals;
   /// aborts those whose grantee died. Returns records delivered.
   std::size_t CompleteParkedLocked() D2T_REQUIRES(topo_mu_);
+  /// The rename transaction driver behind Rename/RenameTo (DESIGN.md §8).
+  /// `dest` empty = in-place rename; set = cross-server re-home.
+  RenameResult RenameImpl(const std::string& path, const std::string& new_name,
+                          std::optional<MdsId> dest);
+  /// Idempotently applies a committed/rolled-forward rename to the
+  /// backing tree. False (skip) if another node already holds the name —
+  /// only reachable replaying a journal against a later namespace.
+  bool ApplyRenameLocked(NodeId id, const std::string& new_name)
+      D2T_REQUIRES(topo_mu_);
 
   // tree_ is protocol-guarded, not capability-guarded — see the threading
   // contract at the top of this file.
@@ -479,6 +546,8 @@ class FunctionalCluster {
   std::atomic<std::uint64_t> duplicate_pulls_dropped_{0};
   std::atomic<std::uint64_t> crashes_injected_{0};
   std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> renames_committed_{0};
+  std::atomic<std::uint64_t> renames_aborted_{0};
 };
 
 }  // namespace d2tree

@@ -24,6 +24,16 @@ const char* MsgTypeName(MsgType type) {
       return "gl-write-lock";
     case MsgType::kGlCommit:
       return "gl-commit";
+    case MsgType::kRenameRequest:
+      return "rename-req";
+    case MsgType::kRenameResponse:
+      return "rename-resp";
+    case MsgType::kRenamePrepare:
+      return "rename-prepare";
+    case MsgType::kRenameCommit:
+      return "rename-commit";
+    case MsgType::kRenameAbort:
+      return "rename-abort";
   }
   return "?";
 }

@@ -48,6 +48,14 @@ enum class MsgType : std::uint8_t {
   kPendingPoolPull,  // Monitor → MDS: subtree granted to a puller
   kGlWriteLock,      // MDS ⇄ Monitor: global-layer write-lock round
   kGlCommit,         // MDS → MDS: locked GL update / replica rebuild data
+  /// Atomic rename transaction legs (DESIGN.md §8). The rename id rides
+  /// in `migration_id` — both protocols draw from the same monotone
+  /// counter and the destination deduplicates on it.
+  kRenameRequest,    // client → MDS: rename `target` (new name in-process)
+  kRenameResponse,   // MDS → client: transaction outcome
+  kRenamePrepare,    // source MDS → destination MDS: parked subtree records
+  kRenameCommit,     // Monitor → MDS: rename durable, GL version bumped
+  kRenameAbort,      // Monitor → MDS: transaction rolled back
 };
 
 const char* MsgTypeName(MsgType type);

@@ -318,20 +318,55 @@ TEST(CrashRecoveryProperty, EverySiteRecoversCleanAcrossRandomShapes) {
     for (NodeId id = 0; id < tree.size(); id += 4)
       cluster.Stat(tree.PathOf(id));
 
+    std::size_t fresh_names = 0;
     for (std::size_t s = 0; s < kCrashSiteCount; ++s) {
       const auto site = static_cast<CrashSite>(s);
       const bool torn = rng.NextBool(0.5);
       const std::string context = "trial " + std::to_string(trial) +
                                   " site " + CrashSiteName(site) +
                                   (torn ? " torn" : "");
+      const bool rename_site = s >= kFirstRenameCrashSite;
 
       MdsId victim = -1;
-      if (site != CrashSite::kAfterGlBump) {
+      NodeId renamed_root = kInvalidNode;
+      std::string renamed_old_path, renamed_new_name;
+      if (!rename_site && site != CrashSite::kAfterGlBump) {
         victim = VictimWithSubtrees(cluster);
         ASSERT_GE(victim, 0) << context << ": no MDS owns a subtree";
       }
       cluster.ArmCrash(site, torn);
-      if (site == CrashSite::kAfterGlBump) {
+      if (rename_site) {
+        // Rename sites are reached by the rename transaction driver: pick
+        // a local-layer subtree root with an alive owner (its path read
+        // from the mirrored tree, which tracks committed renames below)
+        // and rename it — in place, or re-homed to another alive server.
+        const auto owners = cluster.scheme().subtree_owners();
+        const auto& subtrees = cluster.scheme().layers().subtrees;
+        std::size_t pick = subtrees.size();
+        for (std::size_t i = 0; i < subtrees.size() && i < owners.size(); ++i)
+          if (cluster.IsServerAlive(owners[i])) {
+            pick = i;
+            break;
+          }
+        ASSERT_LT(pick, subtrees.size())
+            << context << ": no subtree with an alive owner";
+        renamed_root = subtrees[pick].root;
+        renamed_old_path = tree.PathOf(renamed_root);
+        renamed_new_name = "rn" + std::to_string(trial) + "_" +
+                           std::to_string(fresh_names++);
+        MdsId dest = -1;
+        if (rng.NextBool(0.5)) {
+          for (MdsId k = 0; k < static_cast<MdsId>(cluster.mds_count()); ++k)
+            if (k != owners[pick] && cluster.IsServerAlive(k)) {
+              dest = k;
+              break;
+            }
+        }
+        if (dest >= 0)
+          cluster.RenameTo(renamed_old_path, renamed_new_name, dest);
+        else
+          cluster.Rename(renamed_old_path, renamed_new_name);
+      } else if (site == CrashSite::kAfterGlBump) {
         cluster.Update("/", static_cast<std::uint64_t>(trial));
       } else {
         ASSERT_TRUE(cluster.SetHeartbeatSuppressed(victim, true));
@@ -341,6 +376,12 @@ TEST(CrashRecoveryProperty, EverySiteRecoversCleanAcrossRandomShapes) {
 
       cluster.Recover();
       if (victim >= 0) cluster.SetHeartbeatSuppressed(victim, false);
+      if (renamed_root != kInvalidNode &&
+          cluster.Stat(renamed_old_path).status == MdsStatus::kNotFound) {
+        // The rename took effect (committed live or rolled forward):
+        // mirror it so the next iteration's paths resolve.
+        tree.Rename(renamed_root, renamed_new_name);
+      }
       ASSERT_FALSE(cluster.crashed()) << context;
       const FsckReport fsck = FsckCluster(cluster);
       ASSERT_TRUE(fsck.clean())

@@ -8,10 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "d2tree/common/rng.h"
+#include "d2tree/durability/crash_point.h"
 #include "d2tree/durability/fsck.h"
 #include "d2tree/mds/cluster.h"
 #include "d2tree/net/simnet.h"
@@ -239,6 +244,142 @@ TEST(FaultStress, CrashStormRecoversCleanUnderConcurrency) {
       << "crash windows may only surface kUnavailable";
   EXPECT_FALSE(cluster.crashed());
   EXPECT_TRUE(r.consistent) << r.consistency_error;
+  const FsckReport fsck = FsckCluster(cluster);
+  EXPECT_TRUE(fsck.clean()) << FormatFsckReport(fsck);
+  ExpectNoRecordLost(cluster, w.tree.size());
+}
+
+// Rename storm racing the control plane: client threads toggle their own
+// disjoint subtree roots between two names (in place and cross-server)
+// while a fault thread drains servers into migration rounds, kills and
+// revives an MDS, and arms one whole-service crash at a rename protocol
+// site mid-storm. A rename that dies in the crash window may surface as
+// kUnavailable yet still commit during recovery — clients detect that via
+// kNotFound on the stale name and resync. The run must end d2fsck-clean,
+// every root resolvable at its tracked name, no record lost.
+TEST(FaultStress, RenameStormRacesAdjustmentAndCrash) {
+  const Workload w = GenerateWorkload(DtrProfile(0.05));
+  FunctionalCluster cluster(w.tree, 4);
+  for (NodeId id = 0; id < w.tree.size(); id += 3)
+    cluster.Stat(w.tree.PathOf(id));
+
+  // Disjoint per-thread slices of the subtree list: no two threads ever
+  // touch the same root, so every collision the storm produces is a real
+  // protocol race, not a test artifact.
+  const auto& subtrees = cluster.scheme().layers().subtrees;
+  constexpr std::size_t kThreads = 4;
+  constexpr int kOpsPerRoot = 12;
+  struct Slot {
+    NodeId root;
+    std::string prefix;  // path up to and including the final '/'
+    std::string cur;     // tracked current component name
+  };
+  std::vector<std::vector<Slot>> slices(kThreads);
+  for (std::size_t i = 0; i < subtrees.size(); ++i) {
+    const std::string path = w.tree.PathOf(subtrees[i].root);
+    slices[i % kThreads].push_back(
+        {subtrees[i].root, path.substr(0, path.find_last_of('/') + 1),
+         path.substr(path.find_last_of('/') + 1)});
+  }
+
+  // gtest assertions are not thread-safe: worker threads only count
+  // anomalies, the main thread asserts after the join.
+  std::atomic<std::uint64_t> renames_ok{0};
+  std::atomic<std::uint64_t> unexpected_status{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0x5708B1ULL + t);
+      for (int op = 0; op < kOpsPerRoot; ++op) {
+        for (Slot& s : slices[t]) {
+          const std::string base =
+              "rn" + std::to_string(t) + "_" + std::to_string(s.root) + "_";
+          const std::string next = base + ((op % 2 == 0) ? "a" : "b");
+          const MdsId dest =
+              rng.NextBool(0.4)
+                  ? static_cast<MdsId>(rng.NextBounded(cluster.mds_count()))
+                  : -1;
+          const auto r =
+              dest >= 0 && cluster.IsServerAlive(dest)
+                  ? cluster.RenameTo(s.prefix + s.cur, next, dest)
+                  : cluster.Rename(s.prefix + s.cur, next);
+          if (r.status == MdsStatus::kOk) {
+            s.cur = next;
+            renames_ok.fetch_add(1, std::memory_order_relaxed);
+          } else if (r.status == MdsStatus::kNotFound) {
+            // A rename that answered kUnavailable in a crash window was
+            // rolled forward by recovery: the namespace moved on without
+            // telling us. Probe the two names this slot toggles between
+            // and resync to whichever the recovery installed (neither
+            // resolving means we probed inside another crash window —
+            // keep the stale name and retry next op).
+            if (cluster.Stat(s.prefix + base + "a").status == MdsStatus::kOk)
+              s.cur = base + "a";
+            else if (cluster.Stat(s.prefix + base + "b").status ==
+                     MdsStatus::kOk)
+              s.cur = base + "b";
+          } else if (r.status != MdsStatus::kUnavailable) {
+            unexpected_status.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    Rng rng(0xFA07);
+    // Migration pressure: drain a server, run rounds, restore it.
+    const MdsId drained = 0;
+    cluster.SetHeartbeatSuppressed(drained, true);
+    cluster.RunAdjustmentRound();
+    cluster.SetHeartbeatSuppressed(drained, false);
+    // One kill/revive pair racing the storm.
+    const MdsId victim = 1;
+    if (cluster.KillServer(victim)) cluster.ReviveServer(victim);
+    // One whole-service crash at a seeded rename site; the storm trips
+    // it, everyone sees kUnavailable until the recovery below.
+    const auto site = static_cast<CrashSite>(
+        kFirstRenameCrashSite +
+        rng.NextBounded(kCrashSiteCount - kFirstRenameCrashSite));
+    cluster.ArmCrash(site, rng.NextBool(0.5));
+    for (int spin = 0; spin < 1000 && !cluster.crashed(); ++spin)
+      std::this_thread::yield();
+    if (cluster.crashed()) cluster.Recover();
+    cluster.RunAdjustmentRound();
+  });
+  for (auto& th : threads) th.join();
+
+  // The armed site may never have tripped (all renames drained before the
+  // arm) — disarm by recovering if a late op tripped it post-join.
+  if (cluster.crashed()) cluster.Recover();
+  for (MdsId k = 0; k < static_cast<MdsId>(cluster.mds_count()); ++k)
+    if (!cluster.IsServerAlive(k)) cluster.ReviveServer(k);
+  cluster.RunAdjustmentRound();
+
+  EXPECT_GT(renames_ok.load(), 0u) << "the storm never landed a rename";
+  EXPECT_GT(cluster.renames_committed(), 0u);
+  EXPECT_EQ(unexpected_status.load(), 0u)
+      << "renames may only succeed or observe an outage";
+  // Exactly one of the names each slot ever used resolves to its root —
+  // a rename that died in the final crash window may have been rolled
+  // forward after the client thread exited, but never duplicated or lost.
+  for (std::size_t t = 0; t < kThreads; ++t)
+    for (const Slot& s : slices[t]) {
+      const std::string base =
+          "rn" + std::to_string(t) + "_" + std::to_string(s.root) + "_";
+      std::vector<std::string> names = {base + "a", base + "b"};
+      if (s.cur != names[0] && s.cur != names[1]) names.push_back(s.cur);
+      std::size_t resolved = 0;
+      for (const std::string& name : names) {
+        const auto stat = cluster.Stat(s.prefix + name);
+        if (stat.status == MdsStatus::kOk && stat.record.id == s.root)
+          ++resolved;
+      }
+      EXPECT_EQ(resolved, 1u) << "root " << s.root << " under " << s.prefix;
+    }
+  std::string err;
+  EXPECT_TRUE(cluster.CheckConsistency(&err)) << err;
+  EXPECT_EQ(cluster.CheckPathIntegrity(&err), 0u) << err;
   const FsckReport fsck = FsckCluster(cluster);
   EXPECT_TRUE(fsck.clean()) << FormatFsckReport(fsck);
   ExpectNoRecordLost(cluster, w.tree.size());

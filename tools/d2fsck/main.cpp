@@ -4,16 +4,19 @@
 //   d2fsck <wal-file>
 //     Offline mode: load a Monitor journal saved with Wal::SaveTo (or by
 //     this tool's demo mode) and run the journal audit: framing/CRC
-//     validity, torn-tail detection, and the migration state machine —
-//     no id both committed and aborted, no COMMIT without its PREPARE.
+//     validity, torn-tail detection, and the migration *and rename*
+//     state machines — no id both committed and aborted, no COMMIT
+//     without its PREPARE, rename intent ids strictly monotone.
 //     Exit 0 when clean, 1 otherwise.
 //
-//   d2fsck --demo [site 0..4] [torn 0|1] [wal-out]
+//   d2fsck --demo [site 0..8] [torn 0|1] [wal-out]
 //     Online mode: build a small cluster, drive traffic, arm a crash at
 //     the named site (durability/crash_point.h; default kAfterPrepare)
-//     optionally tearing the last WAL record, run the adjustment round
-//     that trips it, then Recover() and audit the recovered cluster.
-//     With [wal-out] the post-recovery journal is saved for offline runs.
+//     optionally tearing the last WAL record, trip it — migration sites
+//     (0..4) via the adjustment round or a GL update, rename sites (5..8)
+//     via a cross-server rename transaction — then Recover() and audit
+//     the recovered cluster. With [wal-out] the post-recovery journal is
+//     saved for offline runs.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,7 +62,37 @@ int Demo(int argc, char** argv) {
   std::printf("demo: arming crash at %s%s\n", CrashSiteName(site),
               torn ? " + torn tail" : "");
   cluster.ArmCrash(site, torn);
-  if (site == CrashSite::kAfterGlBump) {
+  if (static_cast<std::size_t>(site_index) >= kFirstRenameCrashSite) {
+    // Rename sites fire inside the rename transaction driver: re-home a
+    // local-layer subtree root to another server under a fresh name.
+    const auto owners = cluster.scheme().subtree_owners();
+    const auto& subtrees = cluster.scheme().layers().subtrees;
+    bool driven = false;
+    for (std::size_t i = 0; i < subtrees.size() && i < owners.size(); ++i) {
+      if (!cluster.IsServerAlive(owners[i])) continue;
+      MdsId dest = -1;
+      for (MdsId k = 0; k < static_cast<MdsId>(cluster.mds_count()); ++k)
+        if (k != owners[i] && cluster.IsServerAlive(k)) {
+          dest = k;
+          break;
+        }
+      const std::string path = w.tree.PathOf(subtrees[i].root);
+      const auto result = dest >= 0
+                              ? cluster.RenameTo(path, "renamed_demo", dest)
+                              : cluster.Rename(path, "renamed_demo");
+      std::printf("rename %s → renamed_demo (id %llu, %s, %zu records)\n",
+                  path.c_str(),
+                  static_cast<unsigned long long>(result.rename_id),
+                  result.cross_server ? "cross-server" : "in place",
+                  result.records_moved);
+      driven = true;
+      break;
+    }
+    if (!driven) {
+      std::fprintf(stderr, "d2fsck: no renameable subtree in the demo tree\n");
+      return 2;
+    }
+  } else if (site == CrashSite::kAfterGlBump) {
     cluster.Update("/", 42);  // the GL-update site fires on a GL write
   } else {
     // Kill a server so the round must migrate its subtrees through the
@@ -72,10 +105,12 @@ int Demo(int argc, char** argv) {
   const auto recovery = cluster.Recover();
   std::printf(
       "recovered: %zu records replayed%s, %zu rolled forward, %zu rolled "
-      "back, %zu records rematerialized, GL v%llu\n",
+      "back, %zu renames rolled forward, %zu renames rolled back, "
+      "%zu records rematerialized, GL v%llu\n",
       recovery.wal_records_replayed,
       recovery.torn_tail_detected ? " (torn tail truncated)" : "",
       recovery.migrations_rolled_forward, recovery.migrations_rolled_back,
+      recovery.renames_rolled_forward, recovery.renames_rolled_back,
       recovery.records_rematerialized,
       static_cast<unsigned long long>(recovery.gl_version));
 
