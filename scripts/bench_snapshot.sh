@@ -9,6 +9,10 @@
 #   ablation_rename          — per-scheme rename placement cost and the
 #                              transactional rename path (DESIGN.md §8)
 #
+# plus one real-process section: scripts/socket_bench.sh boots monitor +
+# 3 mdsd over TCP loopback and replays the same mix through d2bench-client
+# (honest ops/sec and wall-clock percentiles per op class).
+#
 # Each binary exits nonzero when its own correctness audit fails, so a
 # snapshot only ever captures a self-consistent run.
 #
@@ -36,6 +40,8 @@ echo "== crash/rename recovery sweep =="
 "$BUILD_DIR/examples/example_crash_recovery" "$TMP/recovery.json" 2 >/dev/null
 echo "== rename ablation + transactional path =="
 "$BUILD_DIR/bench/ablation_rename" "$TMP/rename.json" >/dev/null
+echo "== real-socket 4-process replay =="
+"$(dirname "$0")/socket_bench.sh" "$BUILD_DIR" "$TMP/socket.json" >/dev/null
 
 python3 - "$TMP" "$OUT" <<'PY'
 import json, os, sys
@@ -50,6 +56,7 @@ merged = {
     "latency": json.load(open(os.path.join(tmp, "latency.json"))),
     "recovery": json.load(open(os.path.join(tmp, "recovery.json"))),
     "rename": json.load(open(os.path.join(tmp, "rename.json"))),
+    "socket": json.load(open(os.path.join(tmp, "socket.json"))),
 }
 with open(out, "w") as f:
     json.dump(merged, f, indent=2)

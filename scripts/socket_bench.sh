@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Boots a real 4-process cluster (monitor + 3 mdsd over TCP loopback),
+# replays a trace mix against it with d2bench-client, then SIGTERMs the
+# daemons and folds their shutdown audits into the client's JSON report.
+#
+# The output is the "socket" section of BENCH_trajectory.json: the same
+# per-op-class p50/p99 shape as the simulated latency bench, plus honest
+# ops/sec over real sockets and a `daemons_clean` verdict (every daemon
+# drained, passed its consistency audit and exited 0).
+#
+# Usage: scripts/socket_bench.sh [build_dir] [output.json]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_socket.json}
+MDSD="$BUILD_DIR/tools/mdsd/mdsd"
+CLIENT="$BUILD_DIR/tools/d2bench_client/d2bench-client"
+
+PROFILE=lmbe
+SCALE=0.05
+SEED=1
+MDS_COUNT=3
+THREADS=4
+OPS=1500
+
+if [[ ! -x "$MDSD" || ! -x "$CLIENT" ]]; then
+  echo "error: $BUILD_DIR does not contain mdsd / d2bench-client" >&2
+  echo "       (cmake -B build -S . && cmake --build build -j)" >&2
+  exit 2
+fi
+
+TMP=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill -KILL "$pid" 2>/dev/null || true
+  done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# Reserve four loopback ports up front: every daemon needs the full peer
+# list (for GL-commit fan-out and monitor lock rounds) before any of them
+# is listening.
+read -r PM P0 P1 P2 < <(python3 - <<'PY'
+import socket
+socks = [socket.socket() for _ in range(4)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(*[s.getsockname()[1] for s in socks])
+for s in socks:
+    s.close()
+PY
+)
+PEERS="monitor=127.0.0.1:$PM,mds0=127.0.0.1:$P0,mds1=127.0.0.1:$P1,mds2=127.0.0.1:$P2"
+COMMON=(--peers "$PEERS" --mds-count "$MDS_COUNT"
+        --profile "$PROFILE" --scale "$SCALE" --seed "$SEED")
+
+echo "== booting monitor + $MDS_COUNT mdsd =="
+"$MDSD" --role monitor --listen "127.0.0.1:$PM" "${COMMON[@]}" \
+  >"$TMP/monitor.out" 2>&1 &
+PIDS+=($!)
+for i in 0 1 2; do
+  port_var="P$i"
+  "$MDSD" --role mds --id "$i" --listen "127.0.0.1:${!port_var}" \
+    "${COMMON[@]}" >"$TMP/mds$i.out" 2>&1 &
+  PIDS+=($!)
+done
+
+for f in monitor mds0 mds1 mds2; do
+  for _ in $(seq 1 100); do
+    grep -q "MDSD LISTENING" "$TMP/$f.out" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q "MDSD LISTENING" "$TMP/$f.out" || {
+    echo "error: $f never came up:" >&2
+    cat "$TMP/$f.out" >&2
+    exit 1
+  }
+done
+
+echo "== replaying $((THREADS * OPS)) ops over real sockets =="
+CLIENT_RC=0
+"$CLIENT" "${COMMON[@]}" --threads "$THREADS" --ops "$OPS" \
+  --out "$TMP/client.json" >/dev/null || CLIENT_RC=$?
+
+echo "== draining daemons (SIGTERM) =="
+DAEMONS_CLEAN=true
+for idx in "${!PIDS[@]}"; do
+  kill -TERM "${PIDS[$idx]}" 2>/dev/null || DAEMONS_CLEAN=false
+done
+for idx in "${!PIDS[@]}"; do
+  if ! wait "${PIDS[$idx]}"; then
+    DAEMONS_CLEAN=false
+  fi
+done
+PIDS=()
+
+python3 - "$TMP" "$OUT" "$DAEMONS_CLEAN" <<'PY'
+import json, os, sys
+
+tmp, out, clean = sys.argv[1], sys.argv[2], sys.argv[3] == "true"
+report = json.load(open(os.path.join(tmp, "client.json")))
+daemons = []
+for name in ("monitor", "mds0", "mds1", "mds2"):
+    with open(os.path.join(tmp, name + ".out")) as f:
+        for line in f:
+            line = line.strip()
+            if line.startswith("{"):
+                daemons.append(json.loads(line))
+                break
+report["daemons"] = daemons
+report["daemons_clean"] = clean and all(
+    d.get("consistent") is True for d in daemons) and len(daemons) == 4
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(("OK" if report["daemons_clean"] else "AUDIT FAILED"),
+      "-", report["ops_per_sec"], "ops/sec,", report["failed"], "failed")
+PY
+
+if [[ "$CLIENT_RC" -ne 0 || "$DAEMONS_CLEAN" != true ]]; then
+  exit 1
+fi
+echo "wrote $OUT"

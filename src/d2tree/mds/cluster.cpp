@@ -217,6 +217,7 @@ FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
     failover_redirects_.fetch_add(1, std::memory_order_relaxed);
     out.status = MdsStatus::kUnavailable;
     out.op_class = OpClass::kFailover;
+    out.net_error = DeliveryError::kUndeliverable;
     out.hops = 0;  // nothing was contacted
     return out;
   }
@@ -234,6 +235,10 @@ FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
     // authoritative placement (bounded failover).
     failover_redirects_.fetch_add(1, std::memory_order_relaxed);
     failed_over = true;
+    // A lost leg keeps its own verdict; a delivered leg to a dead server
+    // is the in-process analogue of a refused connection.
+    out.net_error =
+        !d.delivered ? d.error : DeliveryError::kUndeliverable;
     const MdsId owner = assignment_.OwnerOf(target);
     const MdsId retry = owner == kReplicated ? AnyAliveLocked() : owner;
     if (!AliveLocked(retry)) {
@@ -252,6 +257,7 @@ FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
       // One failover is the bound — a second lost leg means the op fails.
       out.status = MdsStatus::kUnavailable;
       out.op_class = OpClass::kFailover;
+      out.net_error = d.error;
       return out;
     }
   }
@@ -272,6 +278,7 @@ FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
         failover_redirects_.fetch_add(1, std::memory_order_relaxed);
         out.status = MdsStatus::kUnavailable;
         out.op_class = OpClass::kFailover;
+        out.net_error = DeliveryError::kUndeliverable;
         return out;
       }
       const Message fwd{.type = MsgType::kForward, .target = target};
@@ -284,6 +291,9 @@ FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
         failover_redirects_.fetch_add(1, std::memory_order_relaxed);
         out.status = MdsStatus::kUnavailable;
         out.op_class = OpClass::kFailover;
+        out.net_error = leg.error == DeliveryError::kUndeliverable
+                            ? DeliveryError::kUndeliverable
+                            : DeliveryError::kTimeout;
         return out;
       }
       r = servers_[retry]->Stat(target, ancestors);
@@ -301,6 +311,9 @@ FunctionalCluster::ClientResult FunctionalCluster::StatAt(NodeId target,
     failover_redirects_.fetch_add(1, std::memory_order_relaxed);
     out.status = MdsStatus::kUnavailable;
     out.op_class = OpClass::kFailover;
+    out.net_error = back.error == DeliveryError::kUndeliverable
+                        ? DeliveryError::kUndeliverable
+                        : DeliveryError::kTimeout;
     return out;
   }
   out.status = r.status;
@@ -349,6 +362,7 @@ FunctionalCluster::ClientResult FunctionalCluster::StatVia(
     out.served_by = via;
     out.hops = 0;  // nothing was contacted
     out.op_class = OpClass::kFailover;
+    out.net_error = DeliveryError::kUndeliverable;
     return out;
   }
   return StatAt(target, via);
@@ -374,6 +388,7 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
     failover_redirects_.fetch_add(1, std::memory_order_relaxed);
     out.status = MdsStatus::kUnavailable;
     out.op_class = OpClass::kFailover;
+    out.net_error = DeliveryError::kUndeliverable;
     return out;
   }
   const RouteDecision route = DecideRoute(tree_, scheme_.local_index(), target);
@@ -392,6 +407,7 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
     const MdsId coord = AnyAliveLocked();
     if (coord < 0) {
       out.status = MdsStatus::kUnavailable;
+      out.net_error = DeliveryError::kUndeliverable;
       return out;
     }
     out.served_by = coord;  // the coordinating replica answers
@@ -404,6 +420,7 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
       failover_redirects_.fetch_add(1, std::memory_order_relaxed);
       out.status = MdsStatus::kUnavailable;
       out.op_class = OpClass::kFailover;
+      out.net_error = d.error;
       return out;
     }
     // Write-lock round with the Monitor's lock service (Sec. IV-A3).
@@ -465,6 +482,9 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
       failover_redirects_.fetch_add(1, std::memory_order_relaxed);
       out.status = MdsStatus::kUnavailable;
       out.op_class = OpClass::kFailover;
+      out.net_error = back.error == DeliveryError::kUndeliverable
+                          ? DeliveryError::kUndeliverable
+                          : DeliveryError::kTimeout;
       return out;
     }
     out.status = MdsStatus::kOk;
@@ -480,6 +500,7 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
     failover_redirects_.fetch_add(1, std::memory_order_relaxed);
     out.status = MdsStatus::kUnavailable;
     out.op_class = OpClass::kFailover;
+    out.net_error = DeliveryError::kUndeliverable;
     return out;
   }
   const Message req{
@@ -490,6 +511,7 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
     failover_redirects_.fetch_add(1, std::memory_order_relaxed);
     out.status = MdsStatus::kUnavailable;
     out.op_class = OpClass::kFailover;
+    out.net_error = d.error;
     return out;
   }
   const MdsOpResult r = servers_[owner]->UpdateLocal(target, ancestors, mtime);
@@ -502,6 +524,9 @@ FunctionalCluster::ClientResult FunctionalCluster::Update(
     failover_redirects_.fetch_add(1, std::memory_order_relaxed);
     out.status = MdsStatus::kUnavailable;
     out.op_class = OpClass::kFailover;
+    out.net_error = back.error == DeliveryError::kUndeliverable
+                        ? DeliveryError::kUndeliverable
+                        : DeliveryError::kTimeout;
     return out;
   }
   out.status = r.status;

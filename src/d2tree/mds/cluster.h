@@ -169,6 +169,11 @@ class FunctionalCluster {
     /// paid, µs (0 on InProcessTransport).
     double sim_latency_us = 0.0;
     OpClass op_class = OpClass::kGlHit;
+    /// The transport-leg failure behind a kUnavailable outcome (kNone on a
+    /// clean op): kUndeliverable = dead/partitioned/unknown peer, kTimeout
+    /// = a lost leg that may have executed. The taxonomy is identical on
+    /// every transport (tests/test_transport_conformance.cpp).
+    DeliveryError net_error = DeliveryError::kNone;
   };
 
   /// Client read (Sec. IV-A2): consult the cached local index; a hit goes

@@ -1,0 +1,73 @@
+#include "d2tree/net/endpoint.h"
+
+#include <cstdlib>
+
+namespace d2tree {
+
+std::string AddressToken(const Address& addr) {
+  switch (addr.kind) {
+    case PeerKind::kClient:
+      return "client";
+    case PeerKind::kMonitor:
+      return "monitor";
+    case PeerKind::kMds:
+      return "mds" + std::to_string(addr.id);
+  }
+  return "?";
+}
+
+std::optional<Address> ParseAddressToken(const std::string& token) {
+  if (token == "client") return ClientAddress();
+  if (token == "monitor") return MonitorAddress();
+  if (token.size() > 3 && token.compare(0, 3, "mds") == 0) {
+    char* end = nullptr;
+    const long id = std::strtol(token.c_str() + 3, &end, 10);
+    if (end != nullptr && *end == '\0' && id >= 0 && id < 1'000'000)
+      return MdsAddress(static_cast<MdsId>(id));
+  }
+  return std::nullopt;
+}
+
+bool SplitHostPort(const std::string& host_port, std::string* host,
+                   std::uint16_t* port) {
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= host_port.size())
+    return false;
+  char* end = nullptr;
+  const long p = std::strtol(host_port.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || p < 0 || p > 65535) return false;
+  *host = host_port.substr(0, colon);
+  *port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+std::optional<std::vector<PeerSpec>> ParsePeerList(const std::string& spec) {
+  std::vector<PeerSpec> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) {
+      if (comma == spec.size()) break;  // trailing comma tolerated
+      return std::nullopt;
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::optional<Address> addr = ParseAddressToken(item.substr(0, eq));
+    if (!addr.has_value()) return std::nullopt;
+    std::string host;
+    std::uint16_t port = 0;
+    const std::string host_port = item.substr(eq + 1);
+    if (!SplitHostPort(host_port, &host, &port)) return std::nullopt;
+    for (const PeerSpec& seen : out)
+      if (seen.addr == *addr) return std::nullopt;  // duplicate name
+    out.push_back({*addr, host_port});
+    if (comma == spec.size()) break;
+  }
+  return out;
+}
+
+}  // namespace d2tree

@@ -61,9 +61,13 @@ enum class MsgType : std::uint8_t {
 const char* MsgTypeName(MsgType type);
 const char* PeerKindName(PeerKind kind);
 
-/// One message on the wire. The payload proper (records) stays in-process —
-/// the transport models the *path* (latency, loss, partitions), not
-/// serialization; `payload_records` sizes bulk transfers for accounting.
+/// One message on the wire. On the in-process and simulated transports the
+/// payload proper used to stay in-process — the transport modelled the
+/// *path* (latency, loss, partitions), not serialization. SocketTransport
+/// (net/socket_transport.h) serializes the whole struct through the wire
+/// codec (net/wire.h), so every field below round-trips byte-exactly
+/// across real TCP connections; `payload_records` sizes bulk transfers for
+/// accounting either way.
 struct Message {
   MsgType type = MsgType::kStatRequest;
   NodeId target = kInvalidNode;       // subject node, when applicable
@@ -74,6 +78,20 @@ struct Message {
   /// receiver journals and deduplicates on it, so a retransmitted pull
   /// (retry/backoff discipline, net/retry.h) is applied at most once.
   std::uint64_t migration_id = 0;
+  /// Peer hint: a kWrongServer response names the authoritative owner so
+  /// a remote client can pay the one-jump redirect itself (-1 = unset).
+  MdsId peer = -1;
+  /// Rename payload: the post-rename component name.
+  std::string name{};
+  /// Full record payload (stat responses, bulk legs over a real wire).
+  InodeRecord record{};
+
+  bool operator==(const Message&) const = default;
 };
+
+/// Hard wire-format bounds (net/wire.h enforces them on decode; encoders
+/// that exceed them produce frames the receiver rejects as corrupt).
+inline constexpr std::size_t kMaxWireNameBytes = 4096;
+inline constexpr std::size_t kMaxWireFrameBytes = 1 << 20;
 
 }  // namespace d2tree

@@ -57,7 +57,9 @@ Delivery SimNetTransport::Send(const Address& from, const Address& to,
 
   Delivery d;
   if (link.partitioned.load(std::memory_order_acquire)) {
-    d = {false, config_.timeout_us};
+    // A cut link means the peer is unreachable, not merely slow — the
+    // same verdict SocketTransport reports for a refused connection.
+    d = {false, config_.timeout_us, DeliveryError::kUndeliverable};
   } else {
     // The fate of (link, seq) is a pure hash: replays are deterministic.
     std::uint64_t mix = config_.seed ^ (key * 0x9E3779B97F4A7C15ULL) ^
@@ -67,7 +69,9 @@ Delivery SimNetTransport::Send(const Address& from, const Address& to,
     const double drop_p =
         std::bit_cast<double>(link.drop_bits.load(std::memory_order_acquire));
     if (u_drop < drop_p) {
-      d = {false, config_.timeout_us};
+      // A dropped frame times the sender out; the message may have been
+      // lost on either leg, so the peer might still have executed it.
+      d = {false, config_.timeout_us, DeliveryError::kTimeout};
     } else {
       double latency = config_.base_latency_us;
       if (config_.jitter_mean_us > 0.0)

@@ -1,25 +1,82 @@
 #include "d2tree/net/transport.h"
 
+#include <utility>
+
 namespace d2tree {
+
+const char* DeliveryErrorName(DeliveryError e) {
+  switch (e) {
+    case DeliveryError::kNone:
+      return "none";
+    case DeliveryError::kTimeout:
+      return "timeout";
+    case DeliveryError::kUndeliverable:
+      return "undeliverable";
+  }
+  return "?";
+}
 
 Delivery Transport::SendReliable(const Address& from, const Address& to,
                                  const Message& msg, int max_tries) {
-  Delivery total{false, 0.0};
+  Delivery total{false, 0.0, DeliveryError::kNone};
   for (int attempt = 0; attempt < max_tries; ++attempt) {
     const Delivery d = Send(from, to, msg);
     total.latency_us += d.latency_us;
+    total.error = d.error;
     if (d.delivered) {
       total.delivered = true;
+      total.error = DeliveryError::kNone;
       return total;
     }
   }
   return total;
 }
 
+bool Transport::Bind(const Address& addr, Handler handler) {
+  MutexLock lock(&handlers_mu_);
+  handlers_[AddressKey(addr)] = std::move(handler);
+  return true;
+}
+
+Transport::Handler Transport::FindHandler(const Address& addr) const {
+  MutexLock lock(&handlers_mu_);
+  const auto it = handlers_.find(AddressKey(addr));
+  return it == handlers_.end() ? Handler{} : it->second;
+}
+
+Delivery Transport::Call(const Address& from, const Address& to,
+                         const Message& req, Message* resp) {
+  const Handler handler = FindHandler(to);
+  if (!handler) {
+    // Nobody is bound at `to`: the peer does not exist as far as this
+    // transport is concerned — undeliverable, and the request leg is
+    // still accounted (the client paid for trying).
+    const Delivery d{false, 0.0, DeliveryError::kUndeliverable};
+    Account(d);
+    return d;
+  }
+  Delivery total = Send(from, to, req);
+  if (!total.delivered) return total;
+  const Message answer = handler(from, req);
+  const Delivery back = Send(to, from, answer);
+  total.latency_us += back.latency_us;
+  if (!back.delivered) {
+    // The handler ran but the response leg was lost: to the caller this
+    // is indistinguishable from a timeout (the side effect may exist).
+    total.delivered = false;
+    total.error = back.error == DeliveryError::kUndeliverable
+                      ? DeliveryError::kUndeliverable
+                      : DeliveryError::kTimeout;
+    return total;
+  }
+  if (resp != nullptr) *resp = answer;
+  return total;
+}
+
 Delivery InProcessTransport::Send(const Address& from, const Address& to,
                                   const Message& msg) {
   (void)from, (void)to, (void)msg;
-  const Delivery d{true, 0.0};
+  const Delivery d{true, 0.0, DeliveryError::kNone};
   Account(d);
   return d;
 }

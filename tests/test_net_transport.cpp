@@ -50,6 +50,7 @@ TEST(InProcessTransport, ZeroLatencyAlwaysDelivered) {
   const Delivery d =
       t.Send(ClientAddress(), MdsAddress(2), {MsgType::kStatRequest});
   EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.error, DeliveryError::kNone);
   EXPECT_EQ(d.latency_us, 0.0);
   EXPECT_EQ(t.messages_sent(), 1u);
   EXPECT_EQ(t.messages_dropped(), 0u);
@@ -159,6 +160,8 @@ TEST(SimNetTransport, PartitionDefeatsReliableSend) {
   const Delivery d = net.SendReliable(MdsAddress(1), MonitorAddress(),
                                       {MsgType::kHeartbeat});
   EXPECT_FALSE(d.delivered);
+  EXPECT_EQ(d.error, DeliveryError::kUndeliverable)
+      << "a partitioned link is unreachable, not slow";
   EXPECT_GT(d.latency_us, 0.0);  // timeouts accrued
   ASSERT_TRUE(net.SetPartitioned(MonitorAddress(), MdsAddress(1), false));
   EXPECT_TRUE(
@@ -185,6 +188,9 @@ TEST(NetworkFaults, ClientLinkDropTriggersBoundedFailover) {
   const auto r = cluster.Stat(path);
   EXPECT_EQ(r.status, MdsStatus::kUnavailable);
   EXPECT_EQ(r.op_class, OpClass::kFailover);
+  EXPECT_EQ(r.net_error, DeliveryError::kTimeout)
+      << "a dropped leg may have executed server-side — the taxonomy must "
+         "say timeout, not undeliverable";
   EXPECT_LE(r.hops, 2) << "failover is bounded to one retry";
   EXPECT_GT(cluster.failover_redirects(), redirects_before);
   // The server itself is fine — only its client link is lossy.
@@ -192,6 +198,29 @@ TEST(NetworkFaults, ClientLinkDropTriggersBoundedFailover) {
 
   ASSERT_TRUE(cluster.SetClientLinkDrop(victim, 0.0));
   EXPECT_EQ(cluster.Stat(path).status, MdsStatus::kOk);
+}
+
+// The other half of the error taxonomy: a *crashed* server is
+// kUndeliverable (the op certainly did not execute), while a lossy link
+// is kTimeout (asserted above) — the same split the socket transport
+// reports for a dead peer vs a stuck one.
+TEST(NetworkFaults, CrashedServerSurfacesUndeliverable) {
+  const Workload w = SmallWorkload();
+  auto net = std::make_shared<SimNetTransport>();
+  FunctionalCluster cluster(w.tree, kMds, {}, net);
+  const MdsId victim = OwnerOfSomeSubtree(cluster);
+  ASSERT_GE(victim, 0);
+  const std::string path = SubtreePathOwnedBy(cluster, w.tree, victim);
+
+  ASSERT_TRUE(cluster.KillServer(victim));
+  const auto r = cluster.Stat(path);
+  EXPECT_EQ(r.status, MdsStatus::kUnavailable);
+  EXPECT_EQ(r.net_error, DeliveryError::kUndeliverable);
+
+  ASSERT_TRUE(cluster.ReviveServer(victim));
+  const auto healed = cluster.Stat(path);
+  EXPECT_EQ(healed.status, MdsStatus::kOk);
+  EXPECT_EQ(healed.net_error, DeliveryError::kNone);
 }
 
 // Monitor⇄MDS partition drains the target exactly like heartbeat
