@@ -8,6 +8,8 @@
 #                              every crash site (migration AND rename)
 #   ablation_rename          — per-scheme rename placement cost and the
 #                              transactional rename path (DESIGN.md §8)
+#   ablation_store           — store-engine micro ops and the million-
+#                              record sealed-table handoff (DESIGN.md §11)
 #
 # plus one real-process section: scripts/socket_bench.sh boots monitor +
 # 3 mdsd over TCP loopback and replays the same mix through d2bench-client
@@ -40,6 +42,8 @@ echo "== crash/rename recovery sweep =="
 "$BUILD_DIR/examples/example_crash_recovery" "$TMP/recovery.json" 2 >/dev/null
 echo "== rename ablation + transactional path =="
 "$BUILD_DIR/bench/ablation_rename" "$TMP/rename.json" >/dev/null
+echo "== store engine + sealed-table handoff =="
+"$BUILD_DIR/bench/ablation_store" "$TMP/store.json" >/dev/null
 echo "== real-socket 4-process replay =="
 "$(dirname "$0")/socket_bench.sh" "$BUILD_DIR" "$TMP/socket.json" >/dev/null
 
@@ -56,6 +60,7 @@ merged = {
     "latency": json.load(open(os.path.join(tmp, "latency.json"))),
     "recovery": json.load(open(os.path.join(tmp, "recovery.json"))),
     "rename": json.load(open(os.path.join(tmp, "rename.json"))),
+    "store": json.load(open(os.path.join(tmp, "store.json"))),
     "socket": json.load(open(os.path.join(tmp, "socket.json"))),
 }
 with open(out, "w") as f:

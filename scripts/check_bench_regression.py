@@ -71,6 +71,22 @@ TRACKED = [
     # WAL replay volume per recovery: grows only if the protocol journals
     # more — that is a real cost, keep it tight.
     ("recovery.wal_records_replayed.mean", "bounded", 0.25, 10.0),
+    # --- store engine + sealed-table handoff (bench/ablation_store) ---
+    # Correctness: the bulk kBulkTable path must beat per-record shipping
+    # on the million-record handoff AND land the byte-identical live set,
+    # and every store must pass its deep on-disk audit.
+    ("store.handoff.bulk_faster", "true", None, None),
+    ("store.handoff.dest_equal", "true", None, None),
+    ("store.audit_clean", "true", None, None),
+    # Deterministic: the handoff size is workload math, not timing.
+    ("store.handoff.records", "exact", None, None),
+    # Wall-clock: machine-dependent, wide bands. bulk_ms is the headline
+    # cost of a subtree handoff; the LSM put covers the journaled write
+    # path end to end.
+    ("store.handoff.bulk_ms", "bounded", 3.00, 200.0),
+    ("store.handoff.per_record_ms", "bounded", 3.00, 500.0),
+    ("store.put.lsm_ns_op", "bounded", 3.00, 500.0),
+    ("store.get.lsm_sealed_ns_op", "bounded", 3.00, 2000.0),
     # --- real-socket 4-process replay (scripts/socket_bench.sh) ---
     # Correctness: every op succeeded and every daemon drained cleanly and
     # passed its own consistency audit on SIGTERM.
@@ -178,6 +194,15 @@ def self_test():
                                  "records_moved": 14850},
             },
         },
+        "store": {
+            "audit_clean": True,
+            "put": {"memory_ns_op": 250.0, "lsm_ns_op": 1100.0},
+            "get": {"memory_ns_op": 350.0, "lsm_ns_op": 400.0,
+                    "lsm_sealed_ns_op": 7000.0},
+            "handoff": {"records": 1000000, "per_record_ms": 1100.0,
+                        "bulk_ms": 600.0, "bulk_faster": True,
+                        "dest_equal": True},
+        },
         "socket": {
             "failed": 0,
             "daemons_clean": True,
@@ -233,6 +258,19 @@ def self_test():
     sock_slow = json.loads(json.dumps(base))
     sock_slow["socket"]["latency_by_class"][0]["p50_us"] = 5000.0
     assert any("GL hit].p50_us" in v for v in check(base, sock_slow))
+    # Store section: bulk losing to per-record is a hard gate on the
+    # fresh run alone — the whole point of sealed-table shipping.
+    bulk_lost = json.loads(json.dumps(base))
+    bulk_lost["store"]["handoff"]["bulk_faster"] = False
+    assert any("bulk_faster" in v for v in check(base, bulk_lost))
+    # A shrunken handoff (bench silently doing less work) must not pass.
+    shrunk = json.loads(json.dumps(base))
+    shrunk["store"]["handoff"]["records"] = 1000
+    assert any("handoff.records" in v for v in check(base, shrunk))
+    # A missing store section is a violation, not a skip.
+    storeless = json.loads(json.dumps(base))
+    del storeless["store"]
+    assert any("store" in v for v in check(base, storeless))
     print("self-test: OK")
 
 

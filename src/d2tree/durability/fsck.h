@@ -69,6 +69,15 @@ struct FsckReport {
   std::size_t renames_in_flight = 0;
   /// Cluster mode only: nodes pinned by parked handoffs.
   std::size_t parked_nodes = 0;
+  /// Store mode (FsckStoreDir) / cluster mode with a persistent backend:
+  /// sealed tables audited and the live entries / tombstones they carry.
+  std::size_t store_tables = 0;
+  std::size_t store_entries = 0;
+  std::size_t store_tombstones = 0;
+  /// Store mode only: group-commit frames the engine WAL holds. A torn
+  /// engine-WAL tail is reported through torn_tail/torn_bytes — the
+  /// legitimate footprint of a kill, truncated on the next open.
+  std::size_t store_wal_records = 0;
 
   bool clean() const noexcept { return issues.empty(); }
 };
@@ -76,8 +85,19 @@ struct FsckReport {
 /// Offline journal audit (see file comment).
 FsckReport FsckJournal(const Wal& wal);
 
-/// Online cluster audit: journal checks + live placement invariants.
+/// Online cluster audit: journal checks + live placement invariants,
+/// plus each live server's deep store-engine audit (LSM backends verify
+/// every sealed table's footer, CRCs, ordering and bloom completeness;
+/// the memory engine audits trivially clean).
 FsckReport FsckCluster(const FunctionalCluster& cluster);
+
+/// Offline on-disk audit of one LSM store-engine directory (DESIGN.md
+/// §11): MANIFEST framing and table list, the full AuditSSTable pass over
+/// every listed table, stray or missing .sst files, and a frame-by-frame
+/// decode of the engine WAL. A torn WAL tail is reported, not flagged —
+/// like a Monitor-journal tear it is the footprint of a crash; a torn
+/// MANIFEST *is* flagged (it is rewritten atomically, never appended).
+FsckReport FsckStoreDir(const std::string& dir);
 
 /// Human-readable rendering for the CLI: one line per issue plus the
 /// summary counters.

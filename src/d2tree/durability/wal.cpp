@@ -5,6 +5,7 @@
 
 #include "d2tree/durability/crash_point.h"
 #include "d2tree/durability/crc32.h"
+#include "d2tree/durability/frame.h"
 
 namespace d2tree {
 
@@ -62,71 +63,13 @@ const char* CrashSiteName(CrashSite site) {
   return "?";
 }
 
-namespace {
-
-void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void PutDouble(std::vector<std::uint8_t>& out, double v) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(out, bits);
-}
-
-/// Bounds-checked little-endian reader over one payload.
-class Reader {
- public:
-  Reader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
-
-  bool U32(std::uint32_t* v) {
-    if (len_ - pos_ < 4) return failed_ = true, false;
-    *v = 0;
-    for (int i = 0; i < 4; ++i)
-      *v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
-    pos_ += 4;
-    return true;
-  }
-  bool U64(std::uint64_t* v) {
-    if (len_ - pos_ < 8) return failed_ = true, false;
-    *v = 0;
-    for (int i = 0; i < 8; ++i)
-      *v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
-    pos_ += 8;
-    return true;
-  }
-  bool Double(double* v) {
-    std::uint64_t bits = 0;
-    if (!U64(&bits)) return false;
-    std::memcpy(v, &bits, sizeof(*v));
-    return true;
-  }
-  void Skip(std::size_t n) {
-    if (len_ - pos_ < n) {
-      failed_ = true;
-      return;
-    }
-    pos_ += n;
-  }
-  bool exhausted() const { return pos_ == len_; }
-  bool failed() const { return failed_; }
-  std::size_t remaining() const { return len_ - pos_; }
-
- private:
-  const std::uint8_t* data_;
-  std::size_t len_;
-  std::size_t pos_ = 0;
-  bool failed_ = false;
-};
-
-constexpr std::size_t kFrameHeader = 8;  // u32 length + u32 crc
-
-}  // namespace
+// Byte writers, the bounds-checked Reader and the CRC frame scan are the
+// shared durable-artifact codec (durability/frame.h) — the LSM store's WAL
+// and MANIFEST reuse the exact same framing.
+using frame::PutDouble;
+using frame::PutU32;
+using frame::PutU64;
+using frame::Reader;
 
 std::vector<std::uint8_t> EncodeWalRecord(const WalRecord& r) {
   std::vector<std::uint8_t> out;
@@ -198,11 +141,8 @@ std::optional<WalRecord> DecodeWalRecord(const std::uint8_t* data,
 
 void Wal::Append(const WalRecord& record) {
   const std::vector<std::uint8_t> payload = EncodeWalRecord(record);
-  const std::uint32_t crc = Crc32(payload.data(), payload.size());
   MutexLock lock(&mu_);
-  PutU32(bytes_, static_cast<std::uint32_t>(payload.size()));
-  PutU32(bytes_, crc);
-  bytes_.insert(bytes_.end(), payload.begin(), payload.end());
+  frame::AppendFrame(bytes_, payload);
   ++appended_;
 }
 
@@ -213,28 +153,20 @@ std::vector<WalRecord> Wal::Replay(WalReplayStats* stats) const {
     snapshot = bytes_;
   }
   std::vector<WalRecord> records;
-  WalReplayStats local;
-  std::size_t pos = 0;
-  while (pos + kFrameHeader <= snapshot.size()) {
-    std::uint32_t len = 0;
-    std::uint32_t crc = 0;
-    for (int i = 0; i < 4; ++i) {
-      len |= static_cast<std::uint32_t>(snapshot[pos + i]) << (8 * i);
-      crc |= static_cast<std::uint32_t>(snapshot[pos + 4 + i]) << (8 * i);
-    }
-    const std::size_t payload_at = pos + kFrameHeader;
-    if (payload_at + len > snapshot.size()) break;  // torn payload
-    if (Crc32(snapshot.data() + payload_at, len) != crc) break;  // corrupt
-    auto record = DecodeWalRecord(snapshot.data() + payload_at, len);
-    if (!record.has_value()) break;  // CRC collision on garbage: still torn
-    records.push_back(std::move(*record));
-    ++local.records;
-    pos = payload_at + len;
+  const frame::ScanStats scan = frame::ScanFrames(
+      snapshot.data(), snapshot.size(),
+      [&records](const std::uint8_t* payload, std::size_t len) {
+        auto record = DecodeWalRecord(payload, len);
+        if (!record.has_value()) return false;  // CRC collision on garbage
+        records.push_back(std::move(*record));
+        return true;
+      });
+  if (stats != nullptr) {
+    stats->records = scan.frames;
+    stats->bytes_scanned = scan.bytes_scanned;
+    stats->torn_tail = scan.torn_tail;
+    stats->torn_bytes = scan.torn_bytes;
   }
-  local.bytes_scanned = pos;
-  local.torn_bytes = snapshot.size() - pos;
-  local.torn_tail = local.torn_bytes > 0;
-  if (stats != nullptr) *stats = local;
   return records;
 }
 

@@ -3,24 +3,35 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <filesystem>
 #include <map>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "d2tree/core/routing.h"
+#include "d2tree/storage/sstable.h"
 
 namespace d2tree {
 
 FunctionalCluster::FunctionalCluster(const NamespaceTree& tree,
                                      std::size_t mds_count,
                                      D2TreeConfig config,
-                                     std::shared_ptr<Transport> transport)
+                                     std::shared_ptr<Transport> transport,
+                                     StoreSpec store)
     : tree_(tree),
       transport_(transport != nullptr
                      ? std::move(transport)
-                     : std::make_shared<InProcessTransport>()) {
+                     : std::make_shared<InProcessTransport>()),
+      store_spec_(std::move(store)) {
   assert(mds_count > 0);
+  if (store_spec_.persistent()) {
+    // Sealed tables in flight live under <data_dir>/ship; per-server
+    // engine roots are created by the engines themselves.
+    std::error_code ec;
+    std::filesystem::create_directories(store_spec_.data_dir + "/ship", ec);
+  }
   // Nobody else can reach `this` yet, but the guarded members are
   // initialized under the placement lock so every access — including the
   // ones inside Materialize() — carries its capability.
@@ -31,7 +42,8 @@ FunctionalCluster::FunctionalCluster(const NamespaceTree& tree,
   servers_.reserve(mds_count);
   mds_wals_.reserve(mds_count);
   for (std::size_t k = 0; k < mds_count; ++k) {
-    servers_.push_back(std::make_unique<MdsServer>(static_cast<MdsId>(k)));
+    servers_.push_back(std::make_unique<MdsServer>(
+        static_cast<MdsId>(k), ServerStoreSpec(static_cast<MdsId>(k))));
     mds_wals_.push_back(std::make_unique<Wal>());
   }
   Materialize();
@@ -39,6 +51,32 @@ FunctionalCluster::FunctionalCluster(const NamespaceTree& tree,
   // recover to the initial partition.
   JournalCapacitiesLocked();
   JournalPlacementLocked();
+}
+
+StoreSpec FunctionalCluster::ServerStoreSpec(MdsId id) const {
+  StoreSpec spec = store_spec_;
+  if (spec.only_mds >= 0 && spec.only_mds != id) return StoreSpec{};
+  if (spec.persistent())
+    spec.data_dir += "/mds" + std::to_string(id);
+  return spec;
+}
+
+std::string FunctionalCluster::ShipPath(const char* kind,
+                                        std::uint64_t id) const {
+  return store_spec_.data_dir + "/ship/" + kind + std::to_string(id) + ".sst";
+}
+
+std::string FunctionalCluster::SealForShipping(
+    const char* kind, std::uint64_t id,
+    const std::vector<InodeRecord>& records) const {
+  if (!store_spec_.persistent() || records.empty()) return {};
+  std::string path = ShipPath(kind, id);
+  if (!WriteRecordsTable(records, path)) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return {};  // seal failed (disk trouble): the per-record path still works
+  }
+  return path;
 }
 
 std::size_t FunctionalCluster::mds_count() const {
@@ -122,6 +160,11 @@ bool FunctionalCluster::MaybeCrash(CrashSite site) {
     // append: replay stops at the damaged frame and recovery truncates it.
     const std::size_t size = monitor_wal_.size_bytes();
     if (size > 0) monitor_wal_.TruncateTail(std::min<std::size_t>(size, 5));
+    // The same cut hits every persistent local store mid-append: rip a few
+    // bytes off each engine WAL so Recover()'s per-store Reopen must
+    // detect and truncate the torn group-commit frames too (no-op on the
+    // memory backend).
+    for (auto& server : servers_) server->local().TearWalTail(5);
   }
   crashed_.store(true, std::memory_order_release);
   crashes_injected_.fetch_add(1, std::memory_order_relaxed);
@@ -158,13 +201,36 @@ InodeRecord FunctionalCluster::MakeRecord(NodeId id) const {
 
 void FunctionalCluster::Materialize() {
   gl_master_version_.store(1, std::memory_order_release);
+  // A persistent store that opened existing data resumes rather than
+  // restarts: records it already holds keep their mutated mtimes and
+  // versions, and anything the freshly computed partition no longer
+  // places here (the previous run migrated it away, or it was promoted
+  // into the replicated crown) is dropped before the fill below.
+  if (store_spec_.persistent()) {
+    for (auto& server : servers_) {
+      const MdsId id = server->id();
+      for (NodeId held : server->local().HeldIds()) {
+        if (held >= tree_.size() || assignment_.IsReplicated(held) ||
+            assignment_.OwnerOf(held) != id) {
+          server->local().Remove(held);
+        }
+      }
+    }
+  }
   for (NodeId id = 0; id < tree_.size(); ++id) {
     const InodeRecord record = MakeRecord(id);
     const MdsId owner = assignment_.OwnerOf(id);
     if (owner == kReplicated) {
       for (auto& server : servers_) server->global_replica().Put(record);
     } else {
-      servers_[owner]->local().Put(record);
+      // Fill only what is missing or disagrees with the namespace (a
+      // record surviving from a run that renamed it is re-stamped; a
+      // record that merely mutated mtime/version is kept).
+      const auto held = servers_[owner]->local().Get(id);
+      if (!held.has_value() || held->name != record.name ||
+          held->parent != record.parent || held->type != record.type) {
+        servers_[owner]->local().Put(record);
+      }
     }
   }
   for (auto& server : servers_) server->set_gl_version(1);
@@ -711,17 +777,42 @@ FunctionalCluster::RenameResult FunctionalCluster::RenameImpl(
   // rename is a synchronous client-facing op, so an undeliverable leg
   // aborts the transaction (journaled) and restores the source — unlike
   // migrations, nothing parks.
+  std::string xfer_table;
   if (cross) {
-    Message xfer{.type = MsgType::kRenamePrepare,
+    // The records land at the destination post-rename, so apply the new
+    // name to the in-flight copy up front — the per-record path used to
+    // do this between transfer and apply; the sealed table must carry the
+    // final bytes because the destination links the file in untouched.
+    for (InodeRecord& r : records)
+      if (r.id == target) {
+        r.name = new_name;
+        ++r.version;
+      }
+    xfer_table = SealForShipping("ren", rename_id, records);
+    Message xfer{.type = xfer_table.empty() ? MsgType::kRenamePrepare
+                                            : MsgType::kBulkTable,
                  .target = target,
                  .payload_records = records.size(),
-                 .migration_id = rename_id};
+                 .migration_id = rename_id,
+                 .name = xfer_table};
     if (!SendControl(MdsAddress(src), MdsAddress(dst), xfer, control_policy_,
                      rename_id)) {
       WalRecord abort = intent;
       abort.type = WalRecordType::kRenameAbort;
       monitor_wal_.Append(abort);
-      if (AliveLocked(src)) servers_[src]->local().InsertAll(records);
+      if (!xfer_table.empty()) {
+        std::error_code ec;
+        std::filesystem::remove(xfer_table, ec);
+      }
+      if (AliveLocked(src)) {
+        // Undo the pre-applied rename before the records go home.
+        for (InodeRecord& r : records)
+          if (r.id == target) {
+            r.name = tree_.node(target).name;
+            --r.version;
+          }
+        servers_[src]->local().InsertAll(records);
+      }
       renames_aborted_.fetch_add(1, std::memory_order_relaxed);
       out.status = MdsStatus::kUnavailable;
       return out;
@@ -733,14 +824,13 @@ FunctionalCluster::RenameResult FunctionalCluster::RenameImpl(
   // holder. Crash in this window → roll forward.
   ApplyRenameLocked(target, new_name);
   if (cross) {
-    for (InodeRecord& r : records)
-      if (r.id == target) {
-        r.name = new_name;
-        ++r.version;
-      }
     // Destination-side dedup on the rename id, exactly like a migration
     // pull: a re-delivered transfer is applied at most once.
-    if (servers_[dst]->ApplyPull(rename_id, records)) {
+    const bool applied_now =
+        xfer_table.empty()
+            ? servers_[dst]->ApplyPull(rename_id, records)
+            : servers_[dst]->ApplyPullTable(rename_id, xfer_table);
+    if (applied_now) {
       WalRecord applied;
       applied.type = WalRecordType::kPullApplied;
       applied.migration_id = rename_id;
@@ -748,6 +838,13 @@ FunctionalCluster::RenameResult FunctionalCluster::RenameImpl(
       mds_wals_[dst]->Append(applied);
     } else {
       duplicate_pulls_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!xfer_table.empty()) {
+      bulk_tables_shipped_.fetch_add(1, std::memory_order_relaxed);
+      bulk_records_shipped_.fetch_add(records.size(),
+                                      std::memory_order_relaxed);
+      std::error_code ec;
+      std::filesystem::remove(xfer_table, ec);
     }
     out.records_moved = records.size();
   } else if (!route.gl_resident()) {
@@ -871,8 +968,9 @@ bool FunctionalCluster::KillServer(MdsId mds) {
   // A crash loses the volatile stores *and* the in-memory pull-dedup set;
   // orphaned local records are recovered from the backing store when
   // their subtrees are re-placed, the dedup set from the server's WAL at
-  // revive.
-  servers_[mds]->LoseVolatileState();
+  // revive. A persistent local store keeps its durable state — memtable
+  // gone, WAL replayed — exactly what a SIGKILL leaves behind.
+  servers_[mds]->LoseVolatileState(store_spec_.persistent());
   return true;
 }
 
@@ -888,10 +986,23 @@ bool FunctionalCluster::ReviveServer(MdsId mds) {
     // empty global layer.
     RebuildGlReplicaLocked(mds);
   }
+  // A persistent store came through the crash holding its durable
+  // records; anything an adjustment round re-placed while this server was
+  // dead (or that is pinned to an in-flight handoff) must not resurface
+  // here as a second copy.
+  if (store_spec_.persistent()) {
+    for (NodeId held : servers_[mds]->local().HeldIds()) {
+      if (held >= tree_.size() || assignment_.IsReplicated(held) ||
+          assignment_.OwnerOf(held) != mds || parked_nodes_.contains(held)) {
+        servers_[mds]->local().Remove(held);
+      }
+    }
+  }
   // Fast restart: if the crash window closed before any adjustment round,
   // this server is still the assigned owner of its subtrees — once alive
   // again nobody would re-place them, so their records must come back with
-  // it, re-materialized from the backing store.
+  // it, re-materialized from the backing store (records the durable engine
+  // preserved stay as they are, mutations and all).
   std::uint64_t restored = 0;
   for (NodeId id = 0; id < tree_.size(); ++id) {
     if (assignment_.IsReplicated(id) || assignment_.OwnerOf(id) != mds)
@@ -900,6 +1011,7 @@ bool FunctionalCluster::ReviveServer(MdsId mds) {
     // in the pending pool and arrive via the re-issued pull, so the
     // restart must not conjure a second copy here.
     if (parked_nodes_.contains(id)) continue;
+    if (servers_[mds]->local().Contains(id)) continue;
     servers_[mds]->local().Put(MakeRecord(id));
     ++restored;
   }
@@ -918,7 +1030,7 @@ bool FunctionalCluster::ReviveServer(MdsId mds) {
 MdsId FunctionalCluster::AddServer(double capacity) {
   WriterMutexLock topo(&topo_mu_);
   const MdsId id = static_cast<MdsId>(servers_.size());
-  servers_.push_back(std::make_unique<MdsServer>(id));
+  servers_.push_back(std::make_unique<MdsServer>(id, ServerStoreSpec(id)));
   mds_wals_.push_back(std::make_unique<Wal>());
   capacities_.capacities.push_back(capacity);
   // Membership change is a control-plane transition: checkpoint the new
@@ -971,12 +1083,20 @@ std::size_t FunctionalCluster::CompleteParkedLocked() {
       abort.to = mig.to;
       monitor_wal_.Append(abort);
       for (NodeId v : mig.members) parked_nodes_.erase(v);
+      if (!mig.table.empty()) {
+        // The sealed table was never delivered; the records regenerate
+        // from the backing store when the subtree is re-placed.
+        std::error_code ec;
+        std::filesystem::remove(mig.table, ec);
+      }
       continue;
     }
-    Message pull{.type = MsgType::kPendingPoolPull,
+    Message pull{.type = mig.table.empty() ? MsgType::kPendingPoolPull
+                                           : MsgType::kBulkTable,
                  .target = mig.root,
                  .payload_records = mig.records.size(),
-                 .migration_id = mig.id};
+                 .migration_id = mig.id,
+                 .name = mig.table};
     if (!SendControl(MonitorAddress(), MdsAddress(mig.to), pull,
                      control_policy_, mig.id)) {
       still_parked.push_back(std::move(mig));  // link still down: next round
@@ -984,7 +1104,11 @@ std::size_t FunctionalCluster::CompleteParkedLocked() {
     }
     // The pull may be a re-delivery of one the grantee already applied
     // (e.g. its ack was the lost leg): dedup on the migration id decides.
-    if (servers_[mig.to]->ApplyPull(mig.id, mig.records)) {
+    const bool applied_now =
+        mig.table.empty()
+            ? servers_[mig.to]->ApplyPull(mig.id, mig.records)
+            : servers_[mig.to]->ApplyPullTable(mig.id, mig.table);
+    if (applied_now) {
       WalRecord applied;
       applied.type = WalRecordType::kPullApplied;
       applied.migration_id = mig.id;
@@ -992,6 +1116,13 @@ std::size_t FunctionalCluster::CompleteParkedLocked() {
       mds_wals_[mig.to]->Append(applied);
     } else {
       duplicate_pulls_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!mig.table.empty()) {
+      bulk_tables_shipped_.fetch_add(1, std::memory_order_relaxed);
+      bulk_records_shipped_.fetch_add(mig.records.size(),
+                                      std::memory_order_relaxed);
+      std::error_code ec;
+      std::filesystem::remove(mig.table, ec);
     }
     WalRecord commit;
     commit.type = WalRecordType::kMigrationCommit;
@@ -1111,14 +1242,24 @@ std::size_t FunctionalCluster::RunAdjustmentRound() {
                   mig_id);
     if (MaybeCrash(CrashSite::kAfterPrepare)) return moved_records;
 
+    // With a persistent backend the subtree travels as one sealed SSTable
+    // (the kBulkTable leg below) that the destination ingests by file
+    // link-in; otherwise the pull carries the records per-record. A seal
+    // failure silently degrades to the per-record path.
+    const std::string table = SealForShipping("mig", mig_id, records);
     Message pull = push;
-    pull.type = MsgType::kPendingPoolPull;
+    if (table.empty()) {
+      pull.type = MsgType::kPendingPoolPull;
+    } else {
+      pull.type = MsgType::kBulkTable;
+      pull.name = table;
+    }
     if (!SendControl(MonitorAddress(), MdsAddress(to), pull, control_policy_,
                      mig_id)) {
       // The grant cannot reach the puller (Monitor⇄MDS partition outlasted
       // every retry): park the migration instead of committing blind. The
-      // records wait in the pool, the member nodes answer kUnavailable,
-      // and the next round re-issues the pull.
+      // records wait in the pool (sealed table included), the member nodes
+      // answer kUnavailable, and the next round re-issues the pull.
       ParkedMigration mig;
       mig.id = mig_id;
       mig.root = subtrees[i].root;
@@ -1126,11 +1267,16 @@ std::size_t FunctionalCluster::RunAdjustmentRound() {
       mig.to = to;
       mig.members = std::move(members);
       mig.records = std::move(records);
+      mig.table = table;
       for (NodeId v : mig.members) parked_nodes_.insert(v);
       parked_.push_back(std::move(mig));
       continue;
     }
-    if (servers_[to]->ApplyPull(mig_id, records)) {
+    const bool applied_now =
+        table.empty()
+            ? servers_[to]->ApplyPull(mig_id, records)
+            : servers_[to]->ApplyPullTable(mig_id, table);
+    if (applied_now) {
       WalRecord applied;
       applied.type = WalRecordType::kPullApplied;
       applied.migration_id = mig_id;
@@ -1138,6 +1284,13 @@ std::size_t FunctionalCluster::RunAdjustmentRound() {
       mds_wals_[to]->Append(applied);
     } else {
       duplicate_pulls_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!table.empty()) {
+      bulk_tables_shipped_.fetch_add(1, std::memory_order_relaxed);
+      bulk_records_shipped_.fetch_add(records.size(),
+                                      std::memory_order_relaxed);
+      std::error_code ec;
+      std::filesystem::remove(table, ec);  // the engine link-in holds it
     }
     if (MaybeCrash(CrashSite::kAfterPull)) return moved_records;
 
@@ -1488,9 +1641,23 @@ FunctionalCluster::RecoveryReport FunctionalCluster::Recover() {
   next_migration_id_ = std::max(next_migration_id_, max_migration_id + 1);
   parked_.clear();
   parked_nodes_.clear();
+  const bool persistent = store_spec_.persistent();
   for (auto& server : servers_) {
-    server->LoseVolatileState();
+    // A persistent local store restarts from its durable state: the engine
+    // WAL is replayed with torn-tail truncation (the crash may have cut a
+    // group-commit frame mid-append — MaybeCrash injects exactly that)
+    // and the sealed tables come back as written.
+    const StoreRecoveryInfo info = server->LoseVolatileState(persistent);
+    if (info.wal_torn_tail) ++report.store_wals_torn;
+    report.store_wal_records_replayed += info.wal_records_replayed;
     server->set_gl_version(0);
+  }
+  if (persistent) {
+    // Sealed tables of handoffs in flight at the crash are orphans now —
+    // the records rematerialize from the backing store below.
+    std::error_code ec;
+    std::filesystem::remove_all(store_spec_.data_dir + "/ship", ec);
+    std::filesystem::create_directories(store_spec_.data_dir + "/ship", ec);
   }
   gl_master_version_.store(gl_version, std::memory_order_release);
   if (caps.size() == capacities_.capacities.size())
@@ -1506,11 +1673,32 @@ FunctionalCluster::RecoveryReport FunctionalCluster::Recover() {
   }
   for (const auto& server : servers_)
     if (server->alive()) RebuildGlReplicaLocked(server->id());
+  if (persistent) {
+    // Durable records the recovered placement no longer puts here are
+    // dropped before the fill below (the migration that moved them away
+    // committed; their new owner rematerializes them).
+    for (auto& server : servers_) {
+      if (!server->alive()) continue;
+      const MdsId sid = server->id();
+      for (NodeId held : server->local().HeldIds()) {
+        if (held >= tree_.size() || assignment_.IsReplicated(held) ||
+            assignment_.OwnerOf(held) != sid) {
+          server->local().Remove(held);
+        }
+      }
+    }
+  }
   std::size_t rematerialized = 0;
   for (NodeId id = 0; id < tree_.size(); ++id) {
     const MdsId owner = assignment_.OwnerOf(id);
     if (owner == kReplicated || !AliveLocked(owner)) continue;
-    servers_[owner]->local().Put(MakeRecord(id));
+    const InodeRecord record = MakeRecord(id);
+    const auto held = servers_[owner]->local().Get(id);
+    if (held.has_value() && held->name == record.name &&
+        held->parent == record.parent && held->type == record.type) {
+      continue;  // survived in the durable store, mutations intact
+    }
+    servers_[owner]->local().Put(record);
     ++rematerialized;
   }
   report.records_rematerialized = rematerialized;

@@ -118,6 +118,7 @@
 #include "d2tree/net/retry.h"
 #include "d2tree/net/transport.h"
 #include "d2tree/nstree/tree.h"
+#include "d2tree/storage/store_engine.h"
 
 namespace d2tree {
 
@@ -126,10 +127,17 @@ class FunctionalCluster {
   /// Partitions `tree` (popularity must be charged) across `mds_count`
   /// servers and loads every record into the right stores. Messages travel
   /// over `transport` (nullptr → a private InProcessTransport: zero
-  /// latency, no loss — the classic direct-call behavior).
+  /// latency, no loss — the classic direct-call behavior). `store` picks
+  /// the per-server local-store backend: the default in-memory map, or
+  /// the LSM engine under `store.data_dir/mds<k>/` — in which case a
+  /// restart with the same directory resumes from the durable namespace
+  /// (Materialize only fills what the stores do not already hold) and
+  /// subtree handoffs ship as sealed SSTables (one kBulkTable leg +
+  /// file link-in) instead of per-record streams.
   FunctionalCluster(const NamespaceTree& tree, std::size_t mds_count,
                     D2TreeConfig config = {},
-                    std::shared_ptr<Transport> transport = nullptr);
+                    std::shared_ptr<Transport> transport = nullptr,
+                    StoreSpec store = {});
 
   /// Total servers ever part of the cluster (dead ones included).
   std::size_t mds_count() const;
@@ -321,6 +329,11 @@ class FunctionalCluster {
     std::size_t renames_rolled_forward = 0;
     /// Intent-only renames aborted (name and ownership unchanged).
     std::size_t renames_rolled_back = 0;
+    /// Persistent-store replay (LSM backend only; zero on memory stores):
+    /// local-store WALs whose tail was torn mid-append and truncated, and
+    /// the total memtable records their group-commit WALs replayed.
+    std::size_t store_wals_torn = 0;
+    std::size_t store_wal_records_replayed = 0;
   };
 
   /// Restarts the metadata service after a crash: replays the Monitor WAL
@@ -409,6 +422,16 @@ class FunctionalCluster {
   std::uint64_t duplicate_pulls_dropped() const noexcept {
     return duplicate_pulls_dropped_.load();
   }
+  /// Subtree handoffs that travelled as one sealed SSTable (kBulkTable
+  /// leg + file link-in at the destination) rather than a per-record
+  /// stream, and the records those tables carried. Nonzero only with a
+  /// persistent store backend.
+  std::uint64_t bulk_tables_shipped() const noexcept {
+    return bulk_tables_shipped_.load();
+  }
+  std::uint64_t bulk_records_shipped() const noexcept {
+    return bulk_records_shipped_.load();
+  }
   /// Armed crashes that fired / Recover() calls that completed.
   std::uint64_t crashes_injected() const noexcept {
     return crashes_injected_.load();
@@ -468,8 +491,12 @@ class FunctionalCluster {
   bool SendControl(const Address& from, const Address& to, const Message& msg,
                    const RetryPolicy& policy, std::uint64_t nonce);
   /// Fires an armed crash if `site` matches: flips crashed_, optionally
-  /// tears the WAL tail. Returns true when the caller must unwind.
-  bool MaybeCrash(CrashSite site);
+  /// tears the Monitor WAL tail *and* every server's local-store WAL tail
+  /// (the power cut mid-append everywhere at once). Returns true when the
+  /// caller must unwind. Needs at least a shared placement hold to walk
+  /// the membership for the store-WAL tear; each store's own lock
+  /// serializes the tear against concurrent appends.
+  bool MaybeCrash(CrashSite site) D2T_REQUIRES_SHARED(topo_mu_);
   /// Checkpoints the planner's subtree owners + GL version to the WAL.
   void JournalPlacementLocked() D2T_REQUIRES(topo_mu_);
   /// Checkpoints the configured per-MDS capacities to the WAL.
@@ -487,10 +514,23 @@ class FunctionalCluster {
   bool ApplyRenameLocked(NodeId id, const std::string& new_name)
       D2T_REQUIRES(topo_mu_);
 
+  /// Per-server local-store spec: `store_spec_.data_dir/mds<k>` is server
+  /// k's engine root. Set once in the ctor, then read-only.
+  StoreSpec ServerStoreSpec(MdsId id) const;
+  /// Scratch path for a sealed subtree table in flight (`<data_dir>/ship/
+  /// <kind><id>.sst`); callers remove the file once ingested or aborted.
+  std::string ShipPath(const char* kind, std::uint64_t id) const;
+  /// Seals `records` into ShipPath(kind, id) when the bulk path is on.
+  /// Returns the table path, or "" (per-record fallback: memory backend,
+  /// or the seal failed).
+  std::string SealForShipping(const char* kind, std::uint64_t id,
+                              const std::vector<InodeRecord>& records) const;
+
   // tree_ is protocol-guarded, not capability-guarded — see the threading
   // contract at the top of this file.
   NamespaceTree tree_;  // private copy: accrues access popularity
   std::shared_ptr<Transport> transport_;  // set once in the ctor, then const
+  StoreSpec store_spec_;                  // set once in the ctor, then const
 
   /// Guards the client-side bookkeeping (popularity charging, rng) so
   /// multiple client threads can drive the cluster concurrently; server
@@ -522,6 +562,10 @@ class FunctionalCluster {
     MdsId to = -1;
     std::vector<NodeId> members;
     std::vector<InodeRecord> records;
+    /// Sealed-table handoff (persistent backend): the SSTable waiting in
+    /// the ship directory; re-issued pulls re-send this file. Empty on
+    /// the per-record path.
+    std::string table;
   };
   std::vector<ParkedMigration> parked_ D2T_GUARDED_BY(topo_mu_);
   std::unordered_set<NodeId> parked_nodes_ D2T_GUARDED_BY(topo_mu_);
@@ -549,6 +593,8 @@ class FunctionalCluster {
   std::atomic<std::uint64_t> retries_total_{0};
   std::atomic<std::uint64_t> deadline_exceeded_total_{0};
   std::atomic<std::uint64_t> duplicate_pulls_dropped_{0};
+  std::atomic<std::uint64_t> bulk_tables_shipped_{0};
+  std::atomic<std::uint64_t> bulk_records_shipped_{0};
   std::atomic<std::uint64_t> crashes_injected_{0};
   std::atomic<std::uint64_t> recoveries_{0};
   std::atomic<std::uint64_t> renames_committed_{0};

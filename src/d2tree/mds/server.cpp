@@ -43,6 +43,16 @@ bool MdsServer::ApplyPull(std::uint64_t migration_id,
   return true;
 }
 
+bool MdsServer::ApplyPullTable(std::uint64_t migration_id,
+                               const std::string& path,
+                               std::size_t* records_ingested) {
+  MutexLock lock(&pulls_mu_);
+  if (!applied_pulls_.insert(migration_id).second) return false;  // dup
+  const std::size_t n = local_.IngestTable(path);
+  if (records_ingested != nullptr) *records_ingested = n;
+  return true;
+}
+
 bool MdsServer::HasAppliedPull(std::uint64_t migration_id) const {
   MutexLock lock(&pulls_mu_);
   return applied_pulls_.contains(migration_id);
@@ -53,11 +63,17 @@ void MdsServer::RestoreAppliedPulls(const std::vector<std::uint64_t>& ids) {
   applied_pulls_.insert(ids.begin(), ids.end());
 }
 
-void MdsServer::LoseVolatileState() {
-  local_.Clear();
+StoreRecoveryInfo MdsServer::LoseVolatileState(bool reopen_durable_local) {
+  StoreRecoveryInfo info;
+  if (reopen_durable_local) {
+    info = local_.Reopen();
+  } else {
+    local_.Clear();
+  }
   global_.Clear();
   MutexLock lock(&pulls_mu_);
   applied_pulls_.clear();
+  return info;
 }
 
 MdsOpResult MdsServer::UpdateLocal(NodeId target,

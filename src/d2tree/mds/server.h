@@ -25,6 +25,12 @@ class MdsServer {
  public:
   explicit MdsServer(MdsId id) : id_(id) {}
 
+  /// Server whose authoritative local store is backed per `spec` (the LSM
+  /// engine when a data dir is configured). The GL replica always stays in
+  /// memory: it is derived state, rebuilt from the owners on boot/revive.
+  MdsServer(MdsId id, const StoreSpec& spec)
+      : id_(id), local_(MakeStoreEngine(spec, "local")) {}
+
   MdsId id() const noexcept { return id_; }
 
   /// Authoritative local-layer records this server owns.
@@ -76,6 +82,13 @@ class MdsServer {
   bool ApplyPull(std::uint64_t migration_id,
                  const std::vector<InodeRecord>& records);
 
+  /// Bulk variant of ApplyPull: ingests a sealed SSTable file (LSM: file
+  /// link-in, O(1) in record count) instead of per-record inserts. Same
+  /// migration-id dedup contract. `records_ingested` (optional) reports
+  /// how many records the table carried.
+  bool ApplyPullTable(std::uint64_t migration_id, const std::string& path,
+                      std::size_t* records_ingested = nullptr);
+
   /// True when `migration_id` has been applied here (dedup probe).
   bool HasAppliedPull(std::uint64_t migration_id) const;
 
@@ -84,9 +97,14 @@ class MdsServer {
   /// records, so re-delivered pulls stay deduplicated across restarts).
   void RestoreAppliedPulls(const std::vector<std::uint64_t>& ids);
 
-  /// Volatile-state loss on crash: clears both stores *and* the in-memory
-  /// dedup set (recovery rebuilds it from the WAL).
-  void LoseVolatileState();
+  /// Volatile-state loss on crash: the GL replica and the in-memory dedup
+  /// set always vanish (recovery rebuilds them from donors and the WAL).
+  /// With `reopen_durable_local` the local store survives as whatever its
+  /// engine made durable — memtable gone, store WAL replayed with
+  /// torn-tail truncation, tables intact — exactly a process kill; the
+  /// returned info reports that replay. Without it the local store is
+  /// cleared too (the memory-backend model: everything was volatile).
+  StoreRecoveryInfo LoseVolatileState(bool reopen_durable_local = false);
 
   /// Operations served (monitoring).
   std::uint64_t ops_served() const noexcept { return ops_.load(); }

@@ -34,6 +34,8 @@ const char* MsgTypeName(MsgType type) {
       return "rename-commit";
     case MsgType::kRenameAbort:
       return "rename-abort";
+    case MsgType::kBulkTable:
+      return "bulk-table";
   }
   return "?";
 }

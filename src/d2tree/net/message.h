@@ -56,6 +56,11 @@ enum class MsgType : std::uint8_t {
   kRenamePrepare,    // source MDS → destination MDS: parked subtree records
   kRenameCommit,     // Monitor → MDS: rename durable, GL version bumped
   kRenameAbort,      // Monitor → MDS: transaction rolled back
+  /// Bulk subtree handoff: one sealed SSTable replaces the per-record
+  /// stream of a migration/rename transfer. `name` carries the table
+  /// path, `payload_records` the record count; the receiver ingests by
+  /// file link-in (O(1) in record count) and dedups on `migration_id`.
+  kBulkTable,        // source MDS → destination MDS: sealed table handoff
 };
 
 const char* MsgTypeName(MsgType type);

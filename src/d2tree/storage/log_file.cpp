@@ -1,0 +1,136 @@
+#include "d2tree/storage/log_file.h"
+
+#include <filesystem>
+
+#ifdef _WIN32
+#else
+#include <unistd.h>
+#endif
+
+namespace d2tree {
+
+LogFile::~LogFile() {
+  MutexLock lock(&mu_);
+  CloseLocked();
+}
+
+void LogFile::CloseLocked() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool LogFile::Open(
+    const std::string& path, bool sync_on_commit,
+    const std::function<bool(const std::uint8_t*, std::size_t)>& fn,
+    frame::ScanStats* stats) {
+  MutexLock lock(&mu_);
+  CloseLocked();
+  path_ = path;
+  sync_on_commit_ = sync_on_commit;
+  pending_.clear();
+  pending_frames_ = 0;
+  committed_bytes_ = 0;
+
+  std::vector<std::uint8_t> existing;
+  {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (!ec && size > 0) {
+      existing.resize(size);
+      std::FILE* in = std::fopen(path.c_str(), "rb");
+      if (in != nullptr) {
+        const std::size_t got =
+            std::fread(existing.data(), 1, existing.size(), in);
+        existing.resize(got);
+        std::fclose(in);
+      } else {
+        existing.clear();
+      }
+    }
+  }
+  frame::ScanStats scan =
+      frame::ScanFrames(existing.data(), existing.size(), fn);
+  if (stats != nullptr) *stats = scan;
+
+  if (scan.torn_tail) {
+    // Truncate the tear so fresh appends land on a frame boundary.
+    std::FILE* trunc = std::fopen(path.c_str(), "wb");
+    if (trunc == nullptr) return false;
+    if (scan.bytes_scanned > 0)
+      std::fwrite(existing.data(), 1, scan.bytes_scanned, trunc);
+    std::fclose(trunc);
+  }
+
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) return false;
+  committed_bytes_ = scan.bytes_scanned;
+  return true;
+}
+
+void LogFile::Append(const std::vector<std::uint8_t>& payload) {
+  MutexLock lock(&mu_);
+  frame::AppendFrame(pending_, payload);
+  ++pending_frames_;
+}
+
+std::size_t LogFile::Commit() {
+  MutexLock lock(&mu_);
+  if (pending_.empty() || file_ == nullptr) {
+    const std::size_t n = pending_frames_;
+    pending_.clear();
+    pending_frames_ = 0;
+    return file_ == nullptr ? 0 : n;
+  }
+  const std::size_t wrote =
+      std::fwrite(pending_.data(), 1, pending_.size(), file_);
+  std::fflush(file_);
+#ifndef _WIN32
+  if (sync_on_commit_) ::fsync(fileno(file_));
+#endif
+  committed_bytes_ += wrote;
+  ++group_commits_;
+  const std::size_t frames = pending_frames_;
+  pending_.clear();
+  pending_frames_ = 0;
+  return frames;
+}
+
+void LogFile::Reset() {
+  MutexLock lock(&mu_);
+  pending_.clear();
+  pending_frames_ = 0;
+  CloseLocked();
+  std::FILE* trunc = std::fopen(path_.c_str(), "wb");
+  if (trunc != nullptr) std::fclose(trunc);
+  file_ = std::fopen(path_.c_str(), "ab");
+  committed_bytes_ = 0;
+}
+
+void LogFile::TearTail(std::size_t bytes) {
+  MutexLock lock(&mu_);
+  pending_.clear();
+  pending_frames_ = 0;
+  CloseLocked();
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  if (!ec) {
+    const std::uintmax_t keep = size - std::min<std::uintmax_t>(bytes, size);
+    std::filesystem::resize_file(path_, keep, ec);
+    committed_bytes_ = keep;
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+}
+
+std::uint64_t LogFile::committed_bytes() const {
+  MutexLock lock(&mu_);
+  return committed_bytes_;
+}
+
+std::uint64_t LogFile::group_commits() const {
+  MutexLock lock(&mu_);
+  return group_commits_;
+}
+
+}  // namespace d2tree

@@ -1,0 +1,45 @@
+#include "d2tree/storage/record_codec.h"
+
+#include "d2tree/durability/frame.h"
+
+namespace d2tree {
+
+void EncodeInodeRecord(const InodeRecord& r, std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + 57 + r.name.size());
+  frame::PutU32(out, r.id);
+  frame::PutU32(out, r.parent);
+  out.push_back(static_cast<std::uint8_t>(r.type));
+  frame::PutU32(out, r.attrs.mode);
+  frame::PutU32(out, r.attrs.uid);
+  frame::PutU32(out, r.attrs.gid);
+  frame::PutU64(out, r.attrs.size);
+  frame::PutU64(out, r.attrs.mtime);
+  frame::PutU64(out, r.attrs.ctime);
+  frame::PutU64(out, r.version);
+  frame::PutU32(out, static_cast<std::uint32_t>(r.name.size()));
+  out.insert(out.end(), r.name.begin(), r.name.end());
+}
+
+std::optional<InodeRecord> DecodeInodeRecord(const std::uint8_t* data,
+                                             std::size_t len) {
+  frame::Reader in(data, len);
+  InodeRecord r;
+  std::uint8_t type = 0;
+  std::uint32_t name_len = 0;
+  if (!in.U32(&r.id) || !in.U32(&r.parent) || !in.U8(&type) ||
+      !in.U32(&r.attrs.mode) || !in.U32(&r.attrs.uid) ||
+      !in.U32(&r.attrs.gid) || !in.U64(&r.attrs.size) ||
+      !in.U64(&r.attrs.mtime) || !in.U64(&r.attrs.ctime) ||
+      !in.U64(&r.version) || !in.U32(&name_len)) {
+    return std::nullopt;
+  }
+  if (type > static_cast<std::uint8_t>(NodeType::kFile)) return std::nullopt;
+  r.type = static_cast<NodeType>(type);
+  const std::uint8_t* name = in.Bytes(name_len);
+  if (name == nullptr) return std::nullopt;
+  r.name.assign(reinterpret_cast<const char*>(name), name_len);
+  if (!in.exhausted()) return std::nullopt;
+  return r;
+}
+
+}  // namespace d2tree

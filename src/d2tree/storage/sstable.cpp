@@ -1,0 +1,466 @@
+#include "d2tree/storage/sstable.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "d2tree/durability/crc32.h"
+#include "d2tree/durability/frame.h"
+#include "d2tree/storage/record_codec.h"
+
+namespace d2tree {
+namespace {
+
+constexpr std::uint8_t kEntryRecord = 1;
+constexpr std::uint8_t kEntryTombstone = 2;
+constexpr std::size_t kIndexEntryBytes = 24;  // 2*u32 ids + u64 off + 2*u32
+
+/// splitmix64 finalizer: the bloom filter's base hash over a node id.
+std::uint64_t MixId(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool BloomTest(const std::vector<std::uint8_t>& bits, std::uint32_t nbits,
+               std::uint32_t nhashes, NodeId id) {
+  if (nbits == 0 || nhashes == 0) return true;  // filter disabled
+  const std::uint64_t h = MixId(id);
+  std::uint64_t h1 = h & 0xffffffffULL;
+  const std::uint64_t h2 = (h >> 32) | 1;  // odd stride
+  for (std::uint32_t i = 0; i < nhashes; ++i) {
+    const std::uint64_t bit = h1 % nbits;
+    if ((bits[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    h1 += h2;
+  }
+  return true;
+}
+
+void BloomSet(std::vector<std::uint8_t>& bits, std::uint32_t nbits,
+              std::uint32_t nhashes, NodeId id) {
+  const std::uint64_t h = MixId(id);
+  std::uint64_t h1 = h & 0xffffffffULL;
+  const std::uint64_t h2 = (h >> 32) | 1;
+  for (std::uint32_t i = 0; i < nhashes; ++i) {
+    const std::uint64_t bit = h1 % nbits;
+    bits[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+    h1 += h2;
+  }
+}
+
+struct Footer {
+  std::uint64_t index_off = 0;
+  std::uint32_t index_len = 0;
+  std::uint32_t index_crc = 0;
+  std::uint64_t bloom_off = 0;
+  std::uint32_t bloom_len = 0;
+  std::uint32_t bloom_crc = 0;
+  std::uint64_t entry_count = 0;
+  NodeId min_id = kInvalidNode;
+  NodeId max_id = kInvalidNode;
+};
+
+/// Everything Open/Audit share: footer + parsed index + bloom, loaded and
+/// CRC-verified from the file. Returns false with a reason on the first
+/// violated invariant.
+struct TableMeta {
+  Footer footer;
+  std::vector<std::uint8_t> index_raw;
+  std::vector<std::uint8_t> bloom_raw;
+  std::uint32_t bloom_nbits = 0;
+  std::uint32_t bloom_nhashes = 0;
+  std::vector<std::uint8_t> bloom_bits;
+};
+
+bool LoadMeta(std::ifstream& in, TableMeta* meta, std::string* error) {
+  in.seekg(0, std::ios::end);
+  const std::int64_t file_size = in.tellg();
+  if (file_size < static_cast<std::int64_t>(kSSTableFooterBytes)) {
+    *error = "file shorter than footer";
+    return false;
+  }
+  std::uint8_t raw[kSSTableFooterBytes];
+  in.seekg(file_size - static_cast<std::int64_t>(kSSTableFooterBytes));
+  in.read(reinterpret_cast<char*>(raw), kSSTableFooterBytes);
+  if (!in) {
+    *error = "footer read failed";
+    return false;
+  }
+  frame::Reader r(raw, kSSTableFooterBytes);
+  Footer& f = meta->footer;
+  std::uint32_t magic = 0;
+  if (!r.U64(&f.index_off) || !r.U32(&f.index_len) || !r.U32(&f.index_crc) ||
+      !r.U64(&f.bloom_off) || !r.U32(&f.bloom_len) || !r.U32(&f.bloom_crc) ||
+      !r.U64(&f.entry_count) || !r.U32(&f.min_id) || !r.U32(&f.max_id) ||
+      !r.U32(&magic)) {
+    *error = "footer decode failed";
+    return false;
+  }
+  if (magic != kSSTableMagic) {
+    *error = "bad footer magic";
+    return false;
+  }
+  const auto size = static_cast<std::uint64_t>(file_size);
+  if (f.index_off + f.index_len > size || f.bloom_off + f.bloom_len > size) {
+    *error = "index/bloom region out of bounds";
+    return false;
+  }
+  meta->index_raw.resize(f.index_len);
+  in.seekg(static_cast<std::int64_t>(f.index_off));
+  in.read(reinterpret_cast<char*>(meta->index_raw.data()), f.index_len);
+  meta->bloom_raw.resize(f.bloom_len);
+  in.seekg(static_cast<std::int64_t>(f.bloom_off));
+  in.read(reinterpret_cast<char*>(meta->bloom_raw.data()), f.bloom_len);
+  if (!in) {
+    *error = "index/bloom read failed";
+    return false;
+  }
+  if (Crc32(meta->index_raw.data(), meta->index_raw.size()) != f.index_crc) {
+    *error = "index CRC mismatch";
+    return false;
+  }
+  if (Crc32(meta->bloom_raw.data(), meta->bloom_raw.size()) != f.bloom_crc) {
+    *error = "bloom CRC mismatch";
+    return false;
+  }
+  frame::Reader b(meta->bloom_raw.data(), meta->bloom_raw.size());
+  if (!b.U32(&meta->bloom_nbits) || !b.U32(&meta->bloom_nhashes)) {
+    *error = "bloom header decode failed";
+    return false;
+  }
+  const std::size_t nbytes = (meta->bloom_nbits + 7) / 8;
+  const std::uint8_t* bits = b.Bytes(nbytes);
+  if (bits == nullptr || !b.exhausted()) {
+    *error = "bloom bits truncated";
+    return false;
+  }
+  meta->bloom_bits.assign(bits, bits + nbytes);
+  return true;
+}
+
+struct ParsedIndexEntry {
+  NodeId first_id;
+  NodeId last_id;
+  std::uint64_t offset;
+  std::uint32_t length;
+  std::uint32_t crc;
+};
+
+bool ParseIndex(const std::vector<std::uint8_t>& raw,
+                std::vector<ParsedIndexEntry>* out, std::string* error) {
+  frame::Reader r(raw.data(), raw.size());
+  std::uint32_t nblocks = 0;
+  if (!r.U32(&nblocks) || r.remaining() != nblocks * kIndexEntryBytes) {
+    *error = "index size disagrees with block count";
+    return false;
+  }
+  out->reserve(nblocks);
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    ParsedIndexEntry e{};
+    r.U32(&e.first_id);
+    r.U32(&e.last_id);
+    r.U64(&e.offset);
+    r.U32(&e.length);
+    r.U32(&e.crc);
+    out->push_back(e);
+  }
+  return !r.failed();
+}
+
+/// Decodes one data block into entries; false on malformed bytes.
+bool ParseBlock(const std::uint8_t* data, std::size_t len,
+                const std::function<bool(const SSTableEntry&)>& fn) {
+  frame::Reader r(data, len);
+  while (!r.exhausted()) {
+    SSTableEntry entry;
+    std::uint8_t kind = 0;
+    std::uint32_t vlen = 0;
+    if (!r.U32(&entry.id) || !r.U8(&kind) || !r.U32(&vlen)) return false;
+    const std::uint8_t* value = r.Bytes(vlen);
+    if (value == nullptr) return false;
+    if (kind == kEntryTombstone) {
+      if (vlen != 0) return false;
+      entry.tombstone = true;
+    } else if (kind == kEntryRecord) {
+      auto rec = DecodeInodeRecord(value, vlen);
+      if (!rec.has_value() || rec->id != entry.id) return false;
+      entry.record = std::move(*rec);
+    } else {
+      return false;
+    }
+    if (!fn(entry)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- builder --------------------------------------------------------------
+
+SSTableBuilder::SSTableBuilder(std::string path, SSTableOptions options)
+    : path_(std::move(path)),
+      options_(options),
+      out_(path_, std::ios::binary | std::ios::trunc) {
+  if (!out_) failed_ = true;
+}
+
+bool SSTableBuilder::Add(const SSTableEntry& entry) {
+  if (failed_ || finished_) return false;
+  if (count_ > 0 && entry.id <= last_id_) {
+    failed_ = true;  // ids must strictly increase across the file
+    return false;
+  }
+  if (block_.empty()) block_first_ = entry.id;
+  frame::PutU32(block_, entry.id);
+  block_.push_back(entry.tombstone ? kEntryTombstone : kEntryRecord);
+  if (entry.tombstone) {
+    frame::PutU32(block_, 0);
+  } else {
+    std::vector<std::uint8_t> value;
+    EncodeInodeRecord(entry.record, value);
+    frame::PutU32(block_, static_cast<std::uint32_t>(value.size()));
+    block_.insert(block_.end(), value.begin(), value.end());
+  }
+  last_id_ = entry.id;
+  if (count_ == 0) min_id_ = entry.id;
+  max_id_ = entry.id;
+  ++count_;
+  keys_.push_back(entry.id);
+  if (block_.size() >= options_.block_bytes) CloseBlock();
+  return !failed_;
+}
+
+void SSTableBuilder::CloseBlock() {
+  if (block_.empty()) return;
+  index_.push_back({block_first_, last_id_, offset_,
+                    static_cast<std::uint32_t>(block_.size()),
+                    Crc32(block_.data(), block_.size())});
+  out_.write(reinterpret_cast<const char*>(block_.data()),
+             static_cast<std::streamsize>(block_.size()));
+  if (!out_) failed_ = true;
+  offset_ += block_.size();
+  block_.clear();
+}
+
+bool SSTableBuilder::Finish() {
+  if (failed_ || finished_ || count_ == 0) return false;
+  CloseBlock();
+  finished_ = true;
+
+  std::vector<std::uint8_t> index;
+  frame::PutU32(index, static_cast<std::uint32_t>(index_.size()));
+  for (const IndexEntry& e : index_) {
+    frame::PutU32(index, e.first_id);
+    frame::PutU32(index, e.last_id);
+    frame::PutU64(index, e.offset);
+    frame::PutU32(index, e.length);
+    frame::PutU32(index, e.crc);
+  }
+
+  std::vector<std::uint8_t> bloom;
+  std::uint32_t nbits = 0;
+  std::uint32_t nhashes = 0;
+  if (options_.bloom_bits_per_key > 0) {
+    nbits = static_cast<std::uint32_t>(
+        std::max<std::size_t>(64, options_.bloom_bits_per_key * count_));
+    nhashes = 6;
+  }
+  frame::PutU32(bloom, nbits);
+  frame::PutU32(bloom, nhashes);
+  if (nbits > 0) {
+    std::vector<std::uint8_t> bits((nbits + 7) / 8, 0);
+    for (NodeId id : keys_) BloomSet(bits, nbits, nhashes, id);
+    bloom.insert(bloom.end(), bits.begin(), bits.end());
+  }
+
+  const std::uint64_t index_off = offset_;
+  const std::uint64_t bloom_off = index_off + index.size();
+  out_.write(reinterpret_cast<const char*>(index.data()),
+             static_cast<std::streamsize>(index.size()));
+  out_.write(reinterpret_cast<const char*>(bloom.data()),
+             static_cast<std::streamsize>(bloom.size()));
+
+  std::vector<std::uint8_t> footer;
+  footer.reserve(kSSTableFooterBytes);
+  frame::PutU64(footer, index_off);
+  frame::PutU32(footer, static_cast<std::uint32_t>(index.size()));
+  frame::PutU32(footer, Crc32(index.data(), index.size()));
+  frame::PutU64(footer, bloom_off);
+  frame::PutU32(footer, static_cast<std::uint32_t>(bloom.size()));
+  frame::PutU32(footer, Crc32(bloom.data(), bloom.size()));
+  frame::PutU64(footer, count_);
+  frame::PutU32(footer, min_id_);
+  frame::PutU32(footer, max_id_);
+  frame::PutU32(footer, kSSTableMagic);
+  out_.write(reinterpret_cast<const char*>(footer.data()),
+             static_cast<std::streamsize>(footer.size()));
+  out_.flush();
+  if (!out_) failed_ = true;
+  out_.close();
+  return !failed_;
+}
+
+// --- reader ---------------------------------------------------------------
+
+bool SSTableReader::Open(const std::string& path) {
+  path_ = path;
+  in_.open(path, std::ios::binary);
+  if (!in_) return false;
+  TableMeta meta;
+  std::string error;
+  if (!LoadMeta(in_, &meta, &error)) return false;
+  std::vector<ParsedIndexEntry> parsed;
+  if (!ParseIndex(meta.index_raw, &parsed, &error)) return false;
+  index_.clear();
+  index_.reserve(parsed.size());
+  for (const ParsedIndexEntry& e : parsed)
+    index_.push_back({e.first_id, e.last_id, e.offset, e.length, e.crc});
+  bloom_bits_ = std::move(meta.bloom_bits);
+  bloom_nbits_ = meta.bloom_nbits;
+  bloom_nhashes_ = meta.bloom_nhashes;
+  entry_count_ = meta.footer.entry_count;
+  min_id_ = meta.footer.min_id;
+  max_id_ = meta.footer.max_id;
+  return true;
+}
+
+bool SSTableReader::BloomRejects(NodeId id) const {
+  return !BloomTest(bloom_bits_, bloom_nbits_, bloom_nhashes_, id);
+}
+
+bool SSTableReader::ReadBlock(const IndexEntry& block,
+                              std::vector<std::uint8_t>* out) {
+  out->resize(block.length);
+  in_.clear();
+  in_.seekg(static_cast<std::int64_t>(block.offset));
+  in_.read(reinterpret_cast<char*>(out->data()), block.length);
+  if (!in_) return false;
+  return Crc32(out->data(), out->size()) == block.crc;
+}
+
+std::optional<SSTableEntry> SSTableReader::Get(NodeId id) {
+  if (index_.empty() || id < min_id_ || id > max_id_) return std::nullopt;
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), id,
+      [](const IndexEntry& e, NodeId key) { return e.last_id < key; });
+  if (it == index_.end() || id < it->first_id) return std::nullopt;
+  std::vector<std::uint8_t> block;
+  if (!ReadBlock(*it, &block)) return std::nullopt;
+  std::optional<SSTableEntry> found;
+  ParseBlock(block.data(), block.size(), [&](const SSTableEntry& entry) {
+    if (entry.id == id) {
+      found = entry;
+      return false;  // stop the scan
+    }
+    return entry.id < id;
+  });
+  return found;
+}
+
+bool SSTableReader::Scan(
+    const std::function<void(const SSTableEntry&)>& fn) {
+  std::vector<std::uint8_t> block;
+  for (const IndexEntry& e : index_) {
+    if (!ReadBlock(e, &block)) return false;
+    if (!ParseBlock(block.data(), block.size(), [&](const SSTableEntry& x) {
+          fn(x);
+          return true;
+        })) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- audit ----------------------------------------------------------------
+
+SSTableAudit AuditSSTable(const std::string& path) {
+  SSTableAudit audit;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    audit.issues.push_back("cannot open " + path);
+    return audit;
+  }
+  TableMeta meta;
+  std::string error;
+  if (!LoadMeta(in, &meta, &error)) {
+    audit.issues.push_back(path + ": " + error);
+    return audit;
+  }
+  std::vector<ParsedIndexEntry> index;
+  if (!ParseIndex(meta.index_raw, &index, &error)) {
+    audit.issues.push_back(path + ": " + error);
+    return audit;
+  }
+  audit.blocks = index.size();
+
+  bool first = true;
+  NodeId prev = 0;
+  NodeId seen_min = kInvalidNode;
+  NodeId seen_max = kInvalidNode;
+  std::vector<std::uint8_t> block;
+  for (std::size_t b = 0; b < index.size(); ++b) {
+    const ParsedIndexEntry& e = index[b];
+    const std::string where = path + " block " + std::to_string(b);
+    block.resize(e.length);
+    in.clear();
+    in.seekg(static_cast<std::int64_t>(e.offset));
+    in.read(reinterpret_cast<char*>(block.data()), e.length);
+    if (!in) {
+      audit.issues.push_back(where + ": read failed");
+      continue;
+    }
+    if (Crc32(block.data(), block.size()) != e.crc) {
+      audit.issues.push_back(where + ": CRC mismatch");
+      continue;
+    }
+    bool block_first = true;
+    NodeId block_last = 0;
+    const bool ok =
+        ParseBlock(block.data(), block.size(), [&](const SSTableEntry& x) {
+          ++audit.entries;
+          if (x.tombstone) ++audit.tombstones;
+          if (block_first && x.id != e.first_id)
+            audit.issues.push_back(where + ": first id disagrees with index");
+          if (!first && x.id <= prev)
+            audit.issues.push_back(where + ": ids not strictly increasing");
+          if (!BloomTest(meta.bloom_bits, meta.bloom_nbits,
+                         meta.bloom_nhashes, x.id))
+            audit.issues.push_back(where + ": bloom misses stored id " +
+                                   std::to_string(x.id));
+          if (first) seen_min = x.id;
+          seen_max = x.id;
+          first = false;
+          block_first = false;
+          prev = x.id;
+          block_last = x.id;
+          return true;
+        });
+    if (!ok) {
+      audit.issues.push_back(where + ": undecodable entry");
+      continue;
+    }
+    if (!block_first && block_last != e.last_id)
+      audit.issues.push_back(where + ": last id disagrees with index");
+  }
+  if (audit.entries != meta.footer.entry_count)
+    audit.issues.push_back(path + ": entry count disagrees with footer");
+  if (!first && (seen_min != meta.footer.min_id ||
+                 seen_max != meta.footer.max_id))
+    audit.issues.push_back(path + ": min/max ids disagree with footer");
+  return audit;
+}
+
+bool WriteRecordsTable(std::vector<InodeRecord> records,
+                       const std::string& path, SSTableOptions options) {
+  std::sort(records.begin(), records.end(),
+            [](const InodeRecord& a, const InodeRecord& b) {
+              return a.id < b.id;
+            });
+  SSTableBuilder builder(path, options);
+  for (const InodeRecord& r : records)
+    if (!builder.AddRecord(r)) return false;
+  return builder.Finish();
+}
+
+}  // namespace d2tree

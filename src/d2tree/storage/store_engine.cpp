@@ -1,0 +1,46 @@
+#include "d2tree/storage/store_engine.h"
+
+#include "d2tree/storage/lsm_engine.h"
+#include "d2tree/storage/memory_engine.h"
+#include "d2tree/storage/sstable.h"
+
+namespace d2tree {
+
+void StoreEngine::InsertAll(const std::vector<InodeRecord>& records) {
+  for (const InodeRecord& r : records) Put(r);
+}
+
+std::vector<InodeRecord> StoreEngine::ExtractAll(
+    const std::vector<NodeId>& ids) {
+  std::vector<InodeRecord> out;
+  out.reserve(ids.size());
+  for (NodeId id : ids) {
+    auto removed = Remove(id);
+    if (removed.has_value()) out.push_back(std::move(*removed));
+  }
+  return out;
+}
+
+std::size_t StoreEngine::IngestTableFile(const std::string& path) {
+  SSTableReader reader;
+  if (!reader.Open(path)) return 0;
+  std::size_t ingested = 0;
+  reader.Scan([this, &ingested](const SSTableEntry& entry) {
+    if (entry.tombstone) {
+      Remove(entry.id);
+    } else {
+      Put(entry.record);
+      ++ingested;
+    }
+  });
+  return ingested;
+}
+
+std::unique_ptr<StoreEngine> MakeStoreEngine(const StoreSpec& spec,
+                                             const std::string& instance) {
+  if (spec.backend == StoreSpec::Backend::kLsm && !spec.data_dir.empty())
+    return std::make_unique<LsmEngine>(spec.data_dir + "/" + instance);
+  return std::make_unique<MemoryEngine>();
+}
+
+}  // namespace d2tree

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "d2tree/durability/fsck.h"
 #include "d2tree/mds/cluster.h"
 #include "d2tree/net/endpoint.h"
 #include "d2tree/net/socket_transport.h"
@@ -66,7 +67,7 @@ struct Daemon {
 };
 
 Daemon SpawnMdsd(const std::string& role, int id, std::uint16_t port,
-                 const std::string& peers) {
+                 const std::string& peers, const std::string& data_dir = "") {
   Daemon d;
   d.port = port;
   int pipefd[2];
@@ -84,13 +85,19 @@ Daemon SpawnMdsd(const std::string& role, int id, std::uint16_t port,
     const std::string listen = "127.0.0.1:" + std::to_string(port);
     const std::string id_str = std::to_string(id);
     const std::string mds_count = std::to_string(kMds);
-    const char* argv[] = {D2TREE_MDSD_PATH, "--role",      role.c_str(),
-                          "--id",           id_str.c_str(), "--listen",
-                          listen.c_str(),   "--peers",     peers.c_str(),
-                          "--mds-count",    mds_count.c_str(), "--profile",
-                          kProfile,         "--scale",     kScale,
-                          "--seed",         kSeed,         nullptr};
-    ::execv(D2TREE_MDSD_PATH, const_cast<char**>(argv));
+    std::vector<const char*> argv = {
+        D2TREE_MDSD_PATH, "--role",      role.c_str(),
+        "--id",           id_str.c_str(), "--listen",
+        listen.c_str(),   "--peers",     peers.c_str(),
+        "--mds-count",    mds_count.c_str(), "--profile",
+        kProfile,         "--scale",     kScale,
+        "--seed",         kSeed};
+    if (!data_dir.empty()) {
+      argv.push_back("--data-dir");
+      argv.push_back(data_dir.c_str());
+    }
+    argv.push_back(nullptr);
+    ::execv(D2TREE_MDSD_PATH, const_cast<char**>(argv.data()));
     std::_Exit(127);
   }
   ::close(pipefd[1]);
@@ -149,7 +156,8 @@ class MdsdLifecycle : public ::testing::Test {
     monitor_ = SpawnMdsd("monitor", 0, monitor_port_, peers_);
     ASSERT_GT(monitor_.pid, 0);
     for (std::size_t i = 0; i < kMds; ++i) {
-      mds_[i] = SpawnMdsd("mds", static_cast<int>(i), mds_ports_[i], peers_);
+      mds_[i] = SpawnMdsd("mds", static_cast<int>(i), mds_ports_[i], peers_,
+                          DataDir());
       ASSERT_GT(mds_[i].pid, 0);
     }
     ASSERT_TRUE(AwaitListening(monitor_));
@@ -168,6 +176,10 @@ class MdsdLifecycle : public ::testing::Test {
       }
     }
   }
+
+  /// Overridden by the persistence fixture: a non-empty directory puts
+  /// every MDS daemon's own store on the LSM engine (--data-dir).
+  virtual std::string DataDir() const { return ""; }
 
   std::uint16_t monitor_port_ = 0;
   std::uint16_t mds_ports_[kMds] = {0, 0, 0};
@@ -303,6 +315,107 @@ TEST_F(MdsdLifecycle, CrashMidReplayFailoverAndRevive) {
     ASSERT_EQ(::kill(daemon->pid, SIGTERM), 0);
     EXPECT_EQ(Reap(daemon), 0) << "daemon failed its shutdown audit";
   }
+}
+
+/// Same 4-process cluster, but every MDS daemon persists its own store
+/// under a shared --data-dir (only its own role — bystander models stay
+/// in memory, so the daemons never cross-write).
+class MdsdPersistence : public MdsdLifecycle {
+ protected:
+  MdsdPersistence() {
+    data_dir_ = "/tmp/d2t_mdsd_persist_" + std::to_string(::getpid()) +
+                "_XXXXXX";
+    if (::mkdtemp(data_dir_.data()) == nullptr) data_dir_.clear();
+  }
+  ~MdsdPersistence() override {
+    if (!data_dir_.empty()) {
+      const std::string cmd = "rm -rf '" + data_dir_ + "'";
+      [[maybe_unused]] const int rc = std::system(cmd.c_str());
+    }
+  }
+  std::string DataDir() const override { return data_dir_; }
+
+  std::string data_dir_;
+};
+
+TEST_F(MdsdPersistence, MutationsSurviveSigkillRestart) {
+  ASSERT_FALSE(data_dir_.empty());
+
+  // The client regenerates the daemons' namespace as the routing oracle.
+  TraceProfile profile = LmbeProfile(std::atof(kScale));
+  profile.seed = static_cast<std::uint64_t>(std::atoll(kSeed));
+  const Workload workload = GenerateWorkload(profile);
+  FunctionalCluster model(workload.tree, kMds);
+  const Assignment& assignment = model.assignment();
+
+  SocketTransport client;
+  const auto specs = ParsePeerList(peers_);
+  ASSERT_TRUE(specs.has_value());
+  for (const PeerSpec& spec : *specs) client.AddPeer(spec.addr, spec.host_port);
+
+  constexpr MdsId kVictim = 1;
+  NodeId target = kInvalidNode;
+  for (NodeId n = 0; n < workload.tree.size() && target == kInvalidNode; ++n)
+    if (assignment.OwnerOf(n) == kVictim) target = n;
+  ASSERT_NE(target, kInvalidNode);
+
+  // Mutate the victim's subtree over the wire, mirroring the op on the
+  // in-process model — the oracle for what must survive.
+  constexpr std::uint64_t kMtime = 777777;
+  {
+    Message req;
+    req.type = MsgType::kUpdateRequest;
+    req.target = target;
+    req.mtime = kMtime;
+    Message resp;
+    const Delivery d =
+        client.Call(ClientAddress(), MdsAddress(kVictim), req, &resp);
+    ASSERT_TRUE(d.delivered);
+    ASSERT_EQ(resp.status, MdsStatus::kOk);
+  }
+  const auto ancestors = workload.tree.AncestorsOf(target);
+  const MdsOpResult want =
+      model.server(kVictim).UpdateLocal(target, ancestors, kMtime);
+  ASSERT_EQ(want.status, MdsStatus::kOk);
+  EXPECT_GT(want.record.version, 0u);
+
+  // SIGKILL — no drain, no flush; only what the engine WAL group-committed
+  // survives. Then restart on the same port AND the same --data-dir.
+  ASSERT_EQ(::kill(mds_[kVictim].pid, SIGKILL), 0);
+  ASSERT_EQ(Reap(&mds_[kVictim]), -1);
+  mds_[kVictim] = SpawnMdsd("mds", kVictim, mds_ports_[kVictim], peers_,
+                            data_dir_);
+  ASSERT_GT(mds_[kVictim].pid, 0);
+  ASSERT_TRUE(AwaitListening(mds_[kVictim]));
+
+  // The revived daemon must answer the *mutated* record — a volatile
+  // daemon would have regenerated the pristine tree and lost the update.
+  Message revived;
+  Delivery d{};
+  d.delivered = false;
+  for (int attempt = 0; attempt < 10 && !d.delivered; ++attempt) {
+    Message req;
+    req.type = MsgType::kStatRequest;
+    req.target = target;
+    d = client.Call(ClientAddress(), MdsAddress(kVictim), req, &revived);
+  }
+  ASSERT_TRUE(d.delivered);
+  ASSERT_EQ(revived.status, MdsStatus::kOk);
+  EXPECT_EQ(revived.record.attrs.mtime, kMtime)
+      << "mutation lost across SIGKILL: store did not persist";
+  EXPECT_EQ(revived.record, want.record)
+      << "revived daemon and in-process oracle disagree";
+
+  // Clean shutdown: each daemon's exit audit must still pass, and the
+  // victim's store directory must audit clean offline (the d2fsck gate).
+  client.Shutdown();
+  for (Daemon* daemon : {&mds_[0], &mds_[1], &mds_[2], &monitor_}) {
+    ASSERT_EQ(::kill(daemon->pid, SIGTERM), 0);
+    EXPECT_EQ(Reap(daemon), 0) << "daemon failed its shutdown audit";
+  }
+  const FsckReport report =
+      FsckStoreDir(data_dir_ + "/mds" + std::to_string(kVictim) + "/local");
+  EXPECT_TRUE(report.clean()) << FormatFsckReport(report);
 }
 
 }  // namespace

@@ -1,0 +1,359 @@
+// LSM store-engine suite (LABELS "store"): the embedded engine's own
+// contract — WAL replay, torn-tail truncation, memtable seals, size-tiered
+// compaction, tombstone shadowing, O(1) table ingest — plus the offline
+// auditors (AuditSSTable, FsckStoreDir) against both clean and corrupted
+// files, and the cluster-level integration: a FunctionalCluster on the
+// LSM backend ships subtree handoffs as sealed tables, survives crash
+// sites with torn engine WALs, and resumes a durable namespace across a
+// full cluster teardown/reconstruct on the same directory.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "d2tree/durability/crash_point.h"
+#include "d2tree/durability/fsck.h"
+#include "d2tree/mds/cluster.h"
+#include "d2tree/storage/lsm_engine.h"
+#include "d2tree/storage/sstable.h"
+#include "d2tree/storage/store_engine.h"
+#include "d2tree/trace/profiles.h"
+
+namespace d2tree {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test, removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const char* tag) {
+    path_ = (fs::temp_directory_path() /
+             ("d2t_store_" + std::string(tag) + "_" +
+              std::to_string(::getpid()) + "_XXXXXX"))
+                .string();
+    if (::mkdtemp(path_.data()) == nullptr) path_.clear();
+  }
+  ~ScratchDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      fs::remove_all(path_, ec);
+    }
+  }
+  const std::string& path() const { return path_; }
+  std::string Sub(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+InodeRecord Rec(NodeId id, const std::string& name, std::uint64_t mtime = 0,
+                NodeId parent = 0) {
+  InodeRecord r;
+  r.id = id;
+  r.parent = parent;
+  r.name = name;
+  r.type = NodeType::kFile;
+  r.attrs.mtime = mtime;
+  return r;
+}
+
+TEST(LsmEngine, PutGetRemoveScanRoundTrip) {
+  ScratchDir dir("basic");
+  ASSERT_FALSE(dir.path().empty());
+  LsmEngine engine(dir.path());
+
+  for (NodeId id : {7u, 3u, 11u, 5u}) engine.Put(Rec(id, "n" + std::to_string(id)));
+  EXPECT_EQ(engine.Size(), 4u);
+  EXPECT_TRUE(engine.Contains(11));
+  ASSERT_TRUE(engine.Get(3).has_value());
+  EXPECT_EQ(engine.Get(3)->name, "n3");
+
+  const auto removed = engine.Remove(7);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->name, "n7");
+  EXPECT_FALSE(engine.Contains(7));
+  EXPECT_EQ(engine.Size(), 3u);
+
+  // Scan visits live records in ascending id order.
+  std::vector<NodeId> seen;
+  engine.Scan([&](const InodeRecord& r) { seen.push_back(r.id); });
+  EXPECT_EQ(seen, (std::vector<NodeId>{3, 5, 11}));
+  EXPECT_TRUE(engine.AuditStorage().empty());
+}
+
+TEST(LsmEngine, ReopenReplaysWalAndTornTailTruncates) {
+  ScratchDir dir("reopen");
+  ASSERT_FALSE(dir.path().empty());
+  LsmEngine engine(dir.path());
+  EXPECT_FALSE(engine.last_recovery().opened_existing);
+
+  for (NodeId id = 1; id <= 50; ++id) engine.Put(Rec(id, "f" + std::to_string(id), id));
+  engine.Remove(25);
+
+  // Restart: WAL replay rebuilds the exact live set.
+  StoreRecoveryInfo info = engine.Reopen();
+  EXPECT_TRUE(info.opened_existing);
+  EXPECT_EQ(info.wal_records_replayed, 51u);  // 50 puts + 1 remove
+  EXPECT_FALSE(info.wal_torn_tail);
+  EXPECT_EQ(engine.Size(), 49u);
+  EXPECT_FALSE(engine.Contains(25));
+  ASSERT_TRUE(engine.Get(50).has_value());
+  EXPECT_EQ(engine.Get(50)->attrs.mtime, 50u);
+
+  // A mid-append kill tears the WAL tail; the next open truncates it and
+  // loses at most the torn record — never anything committed before it.
+  engine.Put(Rec(99, "doomed"));
+  engine.TearWalTail(5);
+  info = engine.Reopen();
+  EXPECT_TRUE(info.wal_torn_tail);
+  EXPECT_GT(info.wal_torn_bytes, 0u);
+  EXPECT_FALSE(engine.Contains(99));
+  EXPECT_EQ(engine.Size(), 49u);
+  EXPECT_TRUE(engine.AuditStorage().empty());
+}
+
+TEST(LsmEngine, FlushSealsTableAndCompactionMerges) {
+  ScratchDir dir("compact");
+  ASSERT_FALSE(dir.path().empty());
+  LsmOptions options;
+  options.memtable_limit_bytes = 2048;  // force frequent seals
+  options.tier_fanout = 2;
+  LsmEngine engine(dir.path(), options);
+
+  for (NodeId id = 1; id <= 400; ++id)
+    engine.Put(Rec(id, "node_with_a_longish_name_" + std::to_string(id), id));
+  engine.Flush();
+
+  const StoreEngineStats stats = engine.Stats();
+  EXPECT_GT(stats.flushes, 0u);
+  EXPECT_GT(stats.compactions, 0u);
+  EXPECT_GT(stats.tables, 0u);
+
+  // Everything survives the seal/merge churn, and the on-disk state
+  // passes the deep audit plus a cold reopen.
+  EXPECT_EQ(engine.Size(), 400u);
+  EXPECT_TRUE(engine.AuditStorage().empty());
+  const StoreRecoveryInfo info = engine.Reopen();
+  EXPECT_GT(info.tables_opened, 0u);
+  EXPECT_EQ(engine.Size(), 400u);
+  ASSERT_TRUE(engine.Get(333).has_value());
+  EXPECT_EQ(engine.Get(333)->attrs.mtime, 333u);
+}
+
+TEST(LsmEngine, TombstonesShadowSealedTables) {
+  ScratchDir dir("tomb");
+  ASSERT_FALSE(dir.path().empty());
+  LsmEngine engine(dir.path());
+
+  for (NodeId id = 1; id <= 10; ++id) engine.Put(Rec(id, "a"));
+  engine.Flush();  // records now live in a sealed table
+  engine.Remove(4);
+  engine.Remove(8);
+  EXPECT_EQ(engine.Size(), 8u);
+  EXPECT_FALSE(engine.Get(4).has_value());
+
+  // The tombstones themselves survive a restart (they are journaled) and
+  // keep shadowing the sealed table.
+  engine.Reopen();
+  EXPECT_EQ(engine.Size(), 8u);
+  EXPECT_FALSE(engine.Contains(8));
+  EXPECT_TRUE(engine.Contains(9));
+}
+
+TEST(LsmEngine, IngestTableFileLinksInWholeSubtree) {
+  ScratchDir dir("ingest");
+  ASSERT_FALSE(dir.path().empty());
+
+  // A migration source seals the extracted subtree into one table...
+  std::vector<InodeRecord> shipped;
+  for (NodeId id = 100; id < 164; ++id)
+    shipped.push_back(Rec(id, "m" + std::to_string(id), id));
+  const std::string table = dir.Sub("subtree.sst");
+  ASSERT_TRUE(WriteRecordsTable(shipped, table));
+
+  // ...and the destination links it in: one call, no per-record inserts.
+  LsmEngine engine(dir.Sub("dest"));
+  engine.Put(Rec(7, "resident"));
+  EXPECT_EQ(engine.IngestTableFile(table), shipped.size());
+  EXPECT_EQ(engine.Stats().table_ingests, 1u);
+  EXPECT_EQ(engine.Size(), shipped.size() + 1);
+  ASSERT_TRUE(engine.Get(150).has_value());
+  EXPECT_EQ(engine.Get(150)->name, "m150");
+  EXPECT_TRUE(engine.Get(7).has_value());
+
+  // The ingested table is engine state now: a restart keeps it.
+  engine.Reopen();
+  EXPECT_EQ(engine.Size(), shipped.size() + 1);
+  EXPECT_TRUE(engine.AuditStorage().empty());
+}
+
+TEST(SSTable, AuditCatchesCorruptionAndFsckStoreDirCatchesStrays) {
+  ScratchDir dir("audit");
+  ASSERT_FALSE(dir.path().empty());
+  LsmEngine engine(dir.path());
+  for (NodeId id = 1; id <= 200; ++id)
+    engine.Put(Rec(id, "padpadpadpad" + std::to_string(id)));
+  engine.Flush();
+  ASSERT_GT(engine.Stats().tables, 0u);
+
+  // Clean store directory: offline fsck agrees with the engine's audit.
+  FsckReport clean = FsckStoreDir(dir.path());
+  EXPECT_TRUE(clean.clean()) << FormatFsckReport(clean);
+  EXPECT_GT(clean.store_tables, 0u);
+  EXPECT_EQ(clean.store_entries, 200u);
+
+  // Find the sealed table and flip one data byte: the per-block CRCs in
+  // the index must catch it in both auditors.
+  std::string table;
+  for (const auto& entry : fs::directory_iterator(dir.path()))
+    if (entry.path().extension() == ".sst") table = entry.path().string();
+  ASSERT_FALSE(table.empty());
+  {
+    std::fstream f(table, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(10);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  const SSTableAudit audit = AuditSSTable(table);
+  EXPECT_FALSE(audit.clean());
+  EXPECT_FALSE(FsckStoreDir(dir.path()).clean());
+  EXPECT_FALSE(engine.AuditStorage().empty());
+
+  // A .sst the MANIFEST does not list is a stray (crash between seal and
+  // manifest rewrite); fsck flags it even when everything else is clean.
+  ScratchDir stray_dir("stray");
+  LsmEngine stray_engine(stray_dir.path());
+  stray_engine.Put(Rec(1, "x"));
+  std::ofstream(stray_dir.Sub("999.sst")) << "not a table";
+  const FsckReport stray = FsckStoreDir(stray_dir.path());
+  ASSERT_FALSE(stray.clean());
+  EXPECT_EQ(stray.issues[0].check, "store.stray-table");
+}
+
+// --- cluster integration -------------------------------------------------
+
+StoreSpec LsmSpec(const std::string& dir) {
+  StoreSpec spec;
+  spec.backend = StoreSpec::Backend::kLsm;
+  spec.data_dir = dir;
+  return spec;
+}
+
+TEST(PersistentCluster, MigrationsShipSealedTables) {
+  ScratchDir dir("bulk");
+  ASSERT_FALSE(dir.path().empty());
+  const Workload w = GenerateWorkload(DtrProfile(0.05));
+  FunctionalCluster cluster(w.tree, 4, {}, nullptr, LsmSpec(dir.path()));
+
+  // Skew popularity, then force migrations by killing a server: its
+  // subtrees re-home through the pending pool.
+  const auto& ops = w.trace.records();
+  for (std::size_t i = 0; i < ops.size() && i < 4000; ++i)
+    cluster.Stat(w.tree.PathOf(ops[i].node));
+  cluster.KillServer(3);
+  cluster.RunAdjustmentRound();
+
+  EXPECT_GT(cluster.bulk_tables_shipped(), 0u)
+      << "persistent backend must ship handoffs as sealed tables";
+  EXPECT_GT(cluster.bulk_records_shipped(), 0u);
+
+  std::string err;
+  EXPECT_TRUE(cluster.CheckConsistency(&err)) << err;
+  const FsckReport report = FsckCluster(cluster);
+  EXPECT_TRUE(report.clean()) << FormatFsckReport(report);
+
+  // Cross-server rename rides the same bulk path.
+  const std::uint64_t before = cluster.bulk_tables_shipped();
+  const auto owners = cluster.scheme().subtree_owners();
+  const auto& subtrees = cluster.scheme().layers().subtrees;
+  for (std::size_t i = 0; i < subtrees.size() && i < owners.size(); ++i) {
+    if (!cluster.IsServerAlive(owners[i])) continue;
+    const MdsId dest = owners[i] == 0 ? 1 : 0;
+    if (!cluster.IsServerAlive(dest)) continue;
+    const auto result =
+        cluster.RenameTo(w.tree.PathOf(subtrees[i].root), "bulk_renamed", dest);
+    if (result.status == MdsStatus::kOk && result.cross_server &&
+        result.records_moved > 0)
+      break;
+  }
+  EXPECT_GT(cluster.bulk_tables_shipped(), before);
+  EXPECT_TRUE(cluster.CheckConsistency(&err)) << err;
+}
+
+TEST(PersistentCluster, CrashRecoveryCoversTornStoreWals) {
+  ScratchDir dir("crash");
+  ASSERT_FALSE(dir.path().empty());
+  const Workload w = GenerateWorkload(DtrProfile(0.05));
+  FunctionalCluster cluster(w.tree, 4, {}, nullptr, LsmSpec(dir.path()));
+  const auto& ops = w.trace.records();
+  for (std::size_t i = 0; i < ops.size() && i < 2000; ++i)
+    cluster.Stat(w.tree.PathOf(ops[i].node));
+
+  // The torn arm tears the Monitor journal AND every engine WAL: recovery
+  // must replay the stores through their own torn-tail truncation.
+  cluster.ArmCrash(CrashSite::kAfterPrepare, /*torn_tail=*/true);
+  cluster.KillServer(3);
+  cluster.RunAdjustmentRound();
+  ASSERT_TRUE(cluster.crashed());
+
+  const auto report = cluster.Recover();
+  EXPECT_GT(report.store_wals_torn, 0u);
+  EXPECT_GT(report.store_wal_records_replayed, 0u);
+
+  std::string err;
+  EXPECT_TRUE(cluster.CheckConsistency(&err)) << err;
+  const FsckReport fsck = FsckCluster(cluster);
+  EXPECT_TRUE(fsck.clean()) << FormatFsckReport(fsck);
+}
+
+TEST(PersistentCluster, RestartOnSameDirectoryResumesDurableNamespace) {
+  ScratchDir dir("resume");
+  ASSERT_FALSE(dir.path().empty());
+  const Workload w = GenerateWorkload(DtrProfile(0.03));
+
+  // Find a local-layer node to mutate.
+  NodeId target = kInvalidNode;
+  std::string target_path;
+  std::uint64_t want_version = 0;
+  {
+    FunctionalCluster cluster(w.tree, 3, {}, nullptr, LsmSpec(dir.path()));
+    const Assignment& assignment = cluster.assignment();
+    for (NodeId n = 0; n < w.tree.size(); ++n)
+      if (assignment.OwnerOf(n) != kReplicated) {
+        target = n;
+        break;
+      }
+    ASSERT_NE(target, kInvalidNode);
+    target_path = w.tree.PathOf(target);
+    const auto updated = cluster.Update(target_path, /*mtime=*/777777);
+    ASSERT_EQ(updated.status, MdsStatus::kOk);
+    want_version = updated.record.version;
+    EXPECT_GT(want_version, 0u);
+  }  // teardown = process exit; the LSM WAL holds the mutation
+
+  // A new cluster on the same directory resumes the durable records
+  // instead of regenerating the pristine tree: the mutation survived.
+  FunctionalCluster revived(w.tree, 3, {}, nullptr, LsmSpec(dir.path()));
+  const auto seen = revived.Stat(target_path);
+  ASSERT_EQ(seen.status, MdsStatus::kOk);
+  EXPECT_EQ(seen.record.attrs.mtime, 777777u);
+  EXPECT_EQ(seen.record.version, want_version);
+
+  std::string err;
+  EXPECT_TRUE(revived.CheckConsistency(&err)) << err;
+  const FsckReport report = FsckCluster(revived);
+  EXPECT_TRUE(report.clean()) << FormatFsckReport(report);
+}
+
+}  // namespace
+}  // namespace d2tree

@@ -107,7 +107,7 @@ TEST_P(TransportConformance, CallRoundTripsEveryMsgType) {
   }));
 
   for (std::uint8_t ty = 0;
-       ty <= static_cast<std::uint8_t>(MsgType::kRenameAbort); ++ty) {
+       ty <= static_cast<std::uint8_t>(MsgType::kBulkTable); ++ty) {
     Message req = FullyLoadedMessage();
     req.type = static_cast<MsgType>(ty);
     req.mtime = 1000 + ty;

@@ -23,6 +23,14 @@
 //   * Daemons never run adjustment rounds: each process only observes its
 //     own traffic, so re-planning locally would diverge the placements.
 //
+// With --data-dir <dir> an MDS daemon keeps its local store in the
+// embedded LSM engine under <dir>/mds<id>/ instead of RAM: a SIGKILLed
+// daemon restarted on the same directory replays its engine WAL and
+// resumes from the durable namespace — mutations (mtimes, versions,
+// renames) survive where a memory daemon would silently regenerate the
+// pristine tree. Only this daemon's own role persists; the bystander
+// servers of its local cluster model stay in memory.
+//
 // After Bind succeeds the daemon prints "MDSD LISTENING <port>" on stdout
 // (port 0 in --listen auto-assigns); tests parse that line. SIGTERM/SIGINT
 // drains the transport, audits the local model with CheckConsistency, and
@@ -57,6 +65,7 @@ struct Flags {
   std::string profile = "lmbe";
   double scale = 0.05;
   std::uint64_t seed = 1;
+  std::string data_dir;  // "" = volatile in-memory store
 };
 
 TraceProfile ProfileByName(const std::string& name, double scale) {
@@ -88,6 +97,8 @@ bool ParseFlags(int argc, char** argv, Flags* f) {
       f->scale = std::atof(v);
     else if (arg == "--seed" && (v = value()))
       f->seed = static_cast<std::uint64_t>(std::atoll(v));
+    else if (arg == "--data-dir" && (v = value()))
+      f->data_dir = v;
     else
       return false;
   }
@@ -104,7 +115,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: mdsd --role mds|monitor [--id N] [--listen h:p] "
                  "[--peers name=h:p,...] [--mds-count M] "
-                 "[--profile dtr|lmbe|ra] [--scale S] [--seed N]\n");
+                 "[--profile dtr|lmbe|ra] [--scale S] [--seed N] "
+                 "[--data-dir DIR]\n");
     return 2;
   }
   const Address self = flags.role == "monitor" ? MonitorAddress()
@@ -115,7 +127,17 @@ int main(int argc, char** argv) {
   TraceProfile profile = ProfileByName(flags.profile, flags.scale);
   profile.seed = flags.seed;
   const Workload workload = GenerateWorkload(profile);
-  FunctionalCluster cluster(workload.tree, flags.mds_count);
+  // --data-dir puts this daemon's own role on the durable LSM engine;
+  // the bystander servers of the local cluster model stay in memory
+  // (only_mds) so N daemons sharing a directory never cross-write.
+  StoreSpec store;
+  if (!flags.data_dir.empty() && flags.role == "mds") {
+    store.backend = StoreSpec::Backend::kLsm;
+    store.data_dir = flags.data_dir;
+    store.only_mds = flags.id;
+  }
+  FunctionalCluster cluster(workload.tree, flags.mds_count, {}, nullptr,
+                            store);
 
   auto transport = std::make_shared<SocketTransport>();
   if (!flags.peers.empty()) {
@@ -285,10 +307,14 @@ int main(int argc, char** argv) {
   transport->Shutdown(/*drain=*/true);
   std::string audit_error;
   const bool consistent = cluster.CheckConsistency(&audit_error);
+  const MetadataStore& local = cluster.server(flags.id).local();
+  const StoreEngineStats store_stats = local.EngineStats();
   std::printf(
       "{\"role\": \"%s\", \"id\": %d, \"handled\": %llu, "
       "\"dedup_hits\": %llu, \"corrupt_frames\": %llu, "
       "\"busy_rejections\": %llu, \"gl_version\": %llu, "
+      "\"store\": \"%s\", \"store_records\": %zu, "
+      "\"store_tables\": %llu, \"store_wal_commits\": %llu, "
       "\"consistent\": %s}\n",
       flags.role.c_str(), flags.id,
       static_cast<unsigned long long>(transport->handled_requests()),
@@ -296,6 +322,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(transport->corrupt_frames()),
       static_cast<unsigned long long>(transport->busy_rejections()),
       static_cast<unsigned long long>(gl_version.load()),
+      local.engine_name(), local.size(),
+      static_cast<unsigned long long>(store_stats.tables),
+      static_cast<unsigned long long>(store_stats.wal_group_commits),
       consistent ? "true" : "false");
   if (!consistent)
     std::fprintf(stderr, "mdsd: audit failed: %s\n", audit_error.c_str());
