@@ -32,6 +32,7 @@ struct MigrationFold {
 std::map<std::uint64_t, MigrationFold> FoldMigrations(
     const std::vector<WalRecord>& journal, FsckReport& report) {
   std::map<std::uint64_t, MigrationFold> folds;
+  std::uint64_t last_gl_version = 0;
   for (const WalRecord& r : journal) {
     switch (r.type) {
       case WalRecordType::kMigrationIntent: {
@@ -70,8 +71,25 @@ std::map<std::uint64_t, MigrationFold> FoldMigrations(
         f.aborted = true;
         break;
       }
-      default:
+      case WalRecordType::kGlVersion:
+        // Version bumps are drawn from a monotone counter and journaled
+        // before the broadcast; a regression means records were replayed
+        // out of order or a journal was stitched from two histories.
+        if (r.version < last_gl_version)
+          AddIssue(report, "journal.gl-version-regressed",
+                   "GL version record " + IdStr(r.version) +
+                       " journaled after version " + IdStr(last_gl_version));
+        last_gl_version = std::max(last_gl_version, r.version);
         break;
+      case WalRecordType::kPlacementSnapshot:
+      case WalRecordType::kCapacitySnapshot:
+      case WalRecordType::kPullApplied:
+        break;  // checkpoints and MDS-side records carry no migration fold
+      case WalRecordType::kRenameIntent:
+      case WalRecordType::kRenamePrepare:
+      case WalRecordType::kRenameCommit:
+      case WalRecordType::kRenameAbort:
+        break;  // folded by FoldRenames
     }
   }
   for (const auto& [id, f] : folds) {
@@ -147,8 +165,15 @@ std::map<std::uint64_t, MigrationFold> FoldRenames(
         f.aborted = true;
         break;
       }
-      default:
-        break;
+      case WalRecordType::kPlacementSnapshot:
+      case WalRecordType::kCapacitySnapshot:
+      case WalRecordType::kMigrationIntent:
+      case WalRecordType::kMigrationPrepare:
+      case WalRecordType::kMigrationCommit:
+      case WalRecordType::kMigrationAbort:
+      case WalRecordType::kGlVersion:
+      case WalRecordType::kPullApplied:
+        break;  // folded by FoldMigrations
     }
   }
   for (const auto& [id, f] : folds) {

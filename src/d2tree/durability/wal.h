@@ -132,8 +132,8 @@ class Wal {
   void Assign(std::vector<std::uint8_t> bytes);
 
   /// File persistence for the d2fsck CLI and the recovery bench.
-  bool SaveTo(const std::string& path) const;
-  bool LoadFrom(const std::string& path);
+  [[nodiscard]] bool SaveTo(const std::string& path) const;
+  [[nodiscard]] bool LoadFrom(const std::string& path);
 
  private:
   /// Journal buffer lock — leaf rank 45 (DESIGN.md "Lock hierarchy"):

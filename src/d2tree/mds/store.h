@@ -45,7 +45,7 @@ class MetadataStore {
   /// Record by node id; nullopt if this store does not hold it.
   std::optional<InodeRecord> Get(NodeId id) const;
 
-  bool Contains(NodeId id) const;
+  [[nodiscard]] bool Contains(NodeId id) const;
 
   /// Removes a record; returns it if present.
   std::optional<InodeRecord> Remove(NodeId id);

@@ -36,7 +36,7 @@ struct PeerSpec {
 std::optional<std::vector<PeerSpec>> ParsePeerList(const std::string& spec);
 
 /// Splits "host:port" (port in [0, 65535]); false on malformed input.
-bool SplitHostPort(const std::string& host_port, std::string* host,
-                   std::uint16_t* port);
+[[nodiscard]] bool SplitHostPort(const std::string& host_port,
+                                 std::string* host, std::uint16_t* port);
 
 }  // namespace d2tree

@@ -46,9 +46,10 @@ class SimNetTransport final : public Transport {
   Delivery Send(const Address& from, const Address& to,
                 const Message& msg) override;
 
-  bool SetLinkDropRate(const Address& a, const Address& b,
-                       double probability) override;
-  bool SetPartitioned(const Address& a, const Address& b, bool on) override;
+  [[nodiscard]] bool SetLinkDropRate(const Address& a, const Address& b,
+                                     double probability) override;
+  [[nodiscard]] bool SetPartitioned(const Address& a, const Address& b,
+                                    bool on) override;
 
   const SimNetConfig& config() const noexcept { return config_; }
 

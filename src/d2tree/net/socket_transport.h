@@ -71,7 +71,8 @@ class SocketTransport final : public Transport {
   /// Registers `addr` ⇄ "host:port" (numeric IPv4 or "localhost"). Both
   /// local (to be Bound) and remote peers are declared this way; a
   /// Send/Call to an undeclared address is kUndeliverable.
-  bool AddPeer(const Address& addr, const std::string& host_port);
+  [[nodiscard]] bool AddPeer(const Address& addr,
+                             const std::string& host_port);
   /// The endpoint registered (or discovered by Bind) for `addr`; "" if
   /// unknown.
   std::string EndpointOf(const Address& addr) const;
@@ -79,14 +80,15 @@ class SocketTransport final : public Transport {
   /// Starts listening on `addr`'s endpoint (auto-registering
   /// "127.0.0.1:0" when undeclared — EndpointOf reports the actual port)
   /// and binds `handler` for dispatched requests. False on socket errors.
-  bool Bind(const Address& addr, Handler handler) override;
+  [[nodiscard]] bool Bind(const Address& addr, Handler handler) override;
 
   Delivery Send(const Address& from, const Address& to,
                 const Message& msg) override;
   Delivery Call(const Address& from, const Address& to, const Message& req,
                 Message* resp) override;
 
-  bool SetPartitioned(const Address& a, const Address& b, bool on) override;
+  [[nodiscard]] bool SetPartitioned(const Address& a, const Address& b,
+                                    bool on) override;
 
   /// Stops the transport: no new connections, optional queue drain,
   /// residual calls failed, threads joined, sockets closed. Idempotent.

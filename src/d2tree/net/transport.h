@@ -59,7 +59,7 @@ const char* DeliveryErrorName(DeliveryError e);
 /// Outcome of one message leg. `latency_us` is the leg's network delay
 /// when delivered and the sender's timeout when lost — simulated time on
 /// InProcess/SimNet, measured wall time on SocketTransport.
-struct Delivery {
+struct [[nodiscard]] Delivery {
   bool delivered = true;
   double latency_us = 0.0;
   DeliveryError error = DeliveryError::kNone;
@@ -84,7 +84,7 @@ class Transport {
   /// the default Call. SocketTransport additionally starts listening on
   /// the endpoint's TCP address. Returns false when the transport cannot
   /// serve the endpoint (socket bind failure).
-  virtual bool Bind(const Address& addr, Handler handler);
+  [[nodiscard]] virtual bool Bind(const Address& addr, Handler handler);
 
   /// Request/response round-trip: delivers `req` to the handler bound at
   /// `to` and fills `*resp` with its answer. An unbound/unknown `to` is
@@ -104,14 +104,16 @@ class Transport {
   // --- Fault surface (no-ops unless the transport models a network).
 
   /// Sets the drop probability of the a⇄b link (both directions).
-  virtual bool SetLinkDropRate(const Address& a, const Address& b,
-                               double probability) {
+  [[nodiscard]] virtual bool SetLinkDropRate(const Address& a,
+                                             const Address& b,
+                                             double probability) {
     (void)a, (void)b, (void)probability;
     return false;
   }
 
   /// Cuts (or heals) the a⇄b link entirely.
-  virtual bool SetPartitioned(const Address& a, const Address& b, bool on) {
+  [[nodiscard]] virtual bool SetPartitioned(const Address& a,
+                                            const Address& b, bool on) {
     (void)a, (void)b, (void)on;
     return false;
   }

@@ -63,7 +63,7 @@ struct WireEnvelope {
 /// produces a frame its own decoder rejects.
 std::vector<std::uint8_t> EncodeFrame(const WireEnvelope& env);
 
-enum class DecodeStatus : std::uint8_t {
+enum class [[nodiscard]] DecodeStatus : std::uint8_t {
   kOk = 0,    // one frame decoded; `*consumed` bytes eaten
   kNeedMore,  // prefix of a valid frame; read more bytes and retry
   kCorrupt,   // CRC mismatch / oversized length / malformed body

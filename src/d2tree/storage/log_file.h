@@ -39,7 +39,7 @@ class LogFile {
   /// false to reject an undecodable payload); a torn tail is truncated off
   /// the file so fresh appends land on a clean frame boundary. Returns
   /// false when the file cannot be opened.
-  bool Open(const std::string& path, bool sync_on_commit,
+  [[nodiscard]] bool Open(const std::string& path, bool sync_on_commit,
             const std::function<bool(const std::uint8_t*, std::size_t)>& fn,
             frame::ScanStats* stats);
 

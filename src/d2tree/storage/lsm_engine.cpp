@@ -48,7 +48,9 @@ LsmEngine::LsmEngine(std::string dir, LsmOptions options)
   std::error_code ec;
   fs::create_directories(dir_, ec);
   MutexLock lock(&mu_);
-  OpenLocked(&recovery_);
+  // recovery_ records the open's full footprint; a failed open leaves an
+  // empty engine and the constructor has no error channel beyond it.
+  (void)OpenLocked(&recovery_);
 }
 
 std::string LsmEngine::TablePath(const std::string& file) const {
@@ -182,7 +184,9 @@ std::optional<SSTableEntry> LsmEngine::LookupLocked(NodeId id) const {
 std::map<NodeId, InodeRecord> LsmEngine::MergedLocked() const {
   std::map<NodeId, std::optional<InodeRecord>> acc;
   for (auto& t : tables_) {
-    t.reader.Scan([&acc](const SSTableEntry& e) {
+    // Best-effort merged view: a CRC-failed block skips its entries here;
+    // AuditStorage is the path that reports the damage.
+    (void)t.reader.Scan([&acc](const SSTableEntry& e) {
       if (e.tombstone) {
         acc[e.id] = std::nullopt;
       } else {
@@ -297,7 +301,8 @@ std::size_t LsmEngine::IngestTableFile(const std::string& path) {
   MutexLock lock(&mu_);
   // Seal the memtable first: nothing volatile may shadow the ingested
   // table (e.g. a tombstone left by an earlier extraction of these keys).
-  if (!mem_.empty()) FlushLocked();
+  // If the seal fails the shadowing guarantee is gone — refuse the ingest.
+  if (!mem_.empty() && !FlushLocked()) return 0;
 
   Table t;
   t.seq = next_seq_++;
@@ -320,16 +325,13 @@ std::size_t LsmEngine::IngestTableFile(const std::string& path) {
 
 void LsmEngine::Flush() {
   MutexLock lock(&mu_);
-  if (!mem_.empty()) {
-    FlushLocked();
-    MaybeCompactLocked();
-  }
+  // On a failed seal the memtable stays put and the next flush retries.
+  if (!mem_.empty() && FlushLocked()) MaybeCompactLocked();
 }
 
 void LsmEngine::MaybeFlushLocked() {
   if (mem_bytes_ < options_.memtable_limit_bytes) return;
-  FlushLocked();
-  MaybeCompactLocked();
+  if (FlushLocked()) MaybeCompactLocked();
 }
 
 bool LsmEngine::FlushLocked() {
@@ -339,10 +341,11 @@ bool LsmEngine::FlushLocked() {
   t.file = std::to_string(t.seq) + ".sst";
   SSTableBuilder builder(TablePath(t.file), options_.table);
   for (const auto& [id, rec] : mem_) {
+    // A failed Add poisons the builder; Finish() below reports it.
     if (rec.has_value()) {
-      builder.AddRecord(*rec);
+      (void)builder.AddRecord(*rec);
     } else {
-      builder.AddTombstone(id);
+      (void)builder.AddTombstone(id);
     }
   }
   if (!builder.Finish()) return false;
@@ -381,8 +384,9 @@ void LsmEngine::MaybeCompactLocked() {
       // survive unless nothing older than the run exists.
       const bool drop_tombstones = start == 0;
       std::map<NodeId, std::optional<InodeRecord>> acc;
+      bool read_ok = true;
       for (std::size_t i = start; i < end; ++i) {
-        tables_[i].reader.Scan([&acc](const SSTableEntry& e) {
+        read_ok &= tables_[i].reader.Scan([&acc](const SSTableEntry& e) {
           if (e.tombstone) {
             acc[e.id] = std::nullopt;
           } else {
@@ -390,15 +394,19 @@ void LsmEngine::MaybeCompactLocked() {
           }
         });
       }
+      // A CRC-failed block means the merged output would silently drop
+      // entries — leave the run un-compacted for AuditStorage to report.
+      if (!read_ok) return;
       Table t;
       t.seq = next_seq_++;
       t.file = std::to_string(t.seq) + ".sst";
       SSTableBuilder builder(TablePath(t.file), options_.table);
       for (const auto& [id, rec] : acc) {
+        // A failed Add poisons the builder; Finish() below reports it.
         if (rec.has_value()) {
-          builder.AddRecord(*rec);
+          (void)builder.AddRecord(*rec);
         } else if (!drop_tombstones) {
-          builder.AddTombstone(id);
+          (void)builder.AddTombstone(id);
         }
       }
       std::vector<std::string> old_files;
@@ -456,7 +464,9 @@ void LsmEngine::RewriteManifestLocked() {
 StoreRecoveryInfo LsmEngine::Reopen() {
   MutexLock lock(&mu_);
   StoreRecoveryInfo info;
-  OpenLocked(&info);
+  // `info` carries the reopen footprint either way; a failed open shows
+  // up there (and in the audit), not as a separate error path.
+  (void)OpenLocked(&info);
   recovery_ = info;
   return info;
 }

@@ -54,7 +54,7 @@ class LsmEngine final : public StoreEngine {
 
   void Put(const InodeRecord& record) override;
   std::optional<InodeRecord> Get(NodeId id) const override;
-  bool Contains(NodeId id) const override;
+  [[nodiscard]] bool Contains(NodeId id) const override;
   std::optional<InodeRecord> Remove(NodeId id) override;
   std::size_t Size() const override;
   void Clear() override;
@@ -81,7 +81,7 @@ class LsmEngine final : public StoreEngine {
     SSTableReader reader;
   };
 
-  bool OpenLocked(StoreRecoveryInfo* info) D2T_REQUIRES(mu_);
+  [[nodiscard]] bool OpenLocked(StoreRecoveryInfo* info) D2T_REQUIRES(mu_);
   void JournalPutLocked(const InodeRecord& record) D2T_REQUIRES(mu_);
   void JournalRemoveLocked(NodeId id) D2T_REQUIRES(mu_);
   /// Memtable lookup, then tables newest → oldest (bloom-gated).
@@ -90,7 +90,7 @@ class LsmEngine final : public StoreEngine {
   /// Merged live view (oldest table → newest → memtable, tombstones out).
   std::map<NodeId, InodeRecord> MergedLocked() const D2T_REQUIRES(mu_);
   void MaybeFlushLocked() D2T_REQUIRES(mu_);
-  bool FlushLocked() D2T_REQUIRES(mu_);
+  [[nodiscard]] bool FlushLocked() D2T_REQUIRES(mu_);
   void MaybeCompactLocked() D2T_REQUIRES(mu_);
   void RewriteManifestLocked() D2T_REQUIRES(mu_);
   std::string TablePath(const std::string& file) const;

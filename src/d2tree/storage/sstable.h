@@ -64,15 +64,15 @@ class SSTableBuilder {
 
   /// Adds the next entry; fails (and poisons the builder) when ids are not
   /// strictly increasing or the file cannot be written.
-  bool Add(const SSTableEntry& entry);
-  bool AddRecord(const InodeRecord& record) {
+  [[nodiscard]] bool Add(const SSTableEntry& entry);
+  [[nodiscard]] bool AddRecord(const InodeRecord& record) {
     return Add({record.id, false, record});
   }
-  bool AddTombstone(NodeId id) { return Add({id, true, {}}); }
+  [[nodiscard]] bool AddTombstone(NodeId id) { return Add({id, true, {}}); }
 
   /// Seals the table: writes index, bloom and footer, flushes the file.
   /// False when nothing was added or any write failed.
-  bool Finish();
+  [[nodiscard]] bool Finish();
 
   std::size_t entries_added() const noexcept { return count_; }
   bool failed() const noexcept { return failed_; }
@@ -114,14 +114,14 @@ class SSTableReader {
   SSTableReader& operator=(SSTableReader&&) = default;
 
   /// Opens and validates footer/index/bloom; false on any mismatch.
-  bool Open(const std::string& path);
+  [[nodiscard]] bool Open(const std::string& path);
 
   /// Point lookup. nullopt = not in this table; an engaged optional holds
   /// the entry (possibly a tombstone, which shadows older tables).
   std::optional<SSTableEntry> Get(NodeId id);
 
   /// Visits every entry in id order. False when a block fails its CRC.
-  bool Scan(const std::function<void(const SSTableEntry&)>& fn);
+  [[nodiscard]] bool Scan(const std::function<void(const SSTableEntry&)>& fn);
 
   std::uint64_t entry_count() const noexcept { return entry_count_; }
   NodeId min_id() const noexcept { return min_id_; }
@@ -140,7 +140,8 @@ class SSTableReader {
     std::uint32_t crc;
   };
 
-  bool ReadBlock(const IndexEntry& block, std::vector<std::uint8_t>* out);
+  [[nodiscard]] bool ReadBlock(const IndexEntry& block,
+                               std::vector<std::uint8_t>* out);
 
   std::string path_;
   mutable std::ifstream in_;
@@ -170,7 +171,8 @@ SSTableAudit AuditSSTable(const std::string& path);
 
 /// Seals `records` (any order; sorted internally) into a table at `path`.
 /// The one-call path migration PREPARE uses to package a subtree.
-bool WriteRecordsTable(std::vector<InodeRecord> records,
-                       const std::string& path, SSTableOptions options = {});
+[[nodiscard]] bool WriteRecordsTable(std::vector<InodeRecord> records,
+                                     const std::string& path,
+                                     SSTableOptions options = {});
 
 }  // namespace d2tree

@@ -63,7 +63,7 @@ class StoreEngine {
 
   virtual void Put(const InodeRecord& record) = 0;
   virtual std::optional<InodeRecord> Get(NodeId id) const = 0;
-  virtual bool Contains(NodeId id) const = 0;
+  [[nodiscard]] virtual bool Contains(NodeId id) const = 0;
   /// Removes a record; returns it if present.
   virtual std::optional<InodeRecord> Remove(NodeId id) = 0;
   virtual std::size_t Size() const = 0;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,21 @@ WalRecord WithType(WalRecord r, WalRecordType type) {
   return r;
 }
 
+// The journal registry: every WalRecordType enumerator, by name, so the
+// codec sweep below covers each record type a journal can contain
+// (d2lint's registry rule pins this table to the enum).
+constexpr WalRecordType kAllWalRecordTypes[] = {
+    WalRecordType::kPlacementSnapshot, WalRecordType::kCapacitySnapshot,
+    WalRecordType::kMigrationIntent,   WalRecordType::kMigrationPrepare,
+    WalRecordType::kMigrationCommit,   WalRecordType::kMigrationAbort,
+    WalRecordType::kGlVersion,         WalRecordType::kPullApplied,
+    WalRecordType::kRenameIntent,      WalRecordType::kRenamePrepare,
+    WalRecordType::kRenameCommit,      WalRecordType::kRenameAbort,
+};
+static_assert(std::size(kAllWalRecordTypes) ==
+                  static_cast<std::size_t>(WalRecordType::kRenameAbort) + 1,
+              "kAllWalRecordTypes must list every WalRecordType enumerator");
+
 TEST(WalRecordCodec, RoundTripsEveryField) {
   WalRecord r;
   r.type = WalRecordType::kPlacementSnapshot;
@@ -46,6 +62,27 @@ TEST(WalRecordCodec, RoundTripsEveryField) {
   const auto decoded = DecodeWalRecord(bytes.data(), bytes.size());
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, r);
+}
+
+TEST(WalRecordCodec, RoundTripsEveryRecordType) {
+  for (const WalRecordType type : kAllWalRecordTypes) {
+    WalRecord r;
+    r.type = type;
+    r.migration_id = 7;
+    r.root = 99;
+    r.from = 1;
+    r.to = 2;
+    r.version = 11;
+    r.count = 13;
+    r.owners = {2, 0, 1};
+    r.capacities = {0.5, 1.5};
+    r.name = "post-rename-name";
+    r.prev_name = "pre-rename-name";
+    const std::vector<std::uint8_t> bytes = EncodeWalRecord(r);
+    const auto decoded = DecodeWalRecord(bytes.data(), bytes.size());
+    ASSERT_TRUE(decoded.has_value()) << WalRecordTypeName(type);
+    EXPECT_EQ(*decoded, r) << WalRecordTypeName(type);
+  }
 }
 
 TEST(WalRecordCodec, RejectsTruncatedPayload) {

@@ -201,7 +201,8 @@ TEST_F(MdsdLifecycle, CrashMidReplayFailoverAndRevive) {
   SocketTransport client;
   const auto specs = ParsePeerList(peers_);
   ASSERT_TRUE(specs.has_value());
-  for (const PeerSpec& spec : *specs) client.AddPeer(spec.addr, spec.host_port);
+  for (const PeerSpec& spec : *specs)
+    ASSERT_TRUE(client.AddPeer(spec.addr, spec.host_port));
 
   // Pick a GL-resident target and, per MDS, one owned local-layer target.
   NodeId gl_target = kInvalidNode;
@@ -351,7 +352,8 @@ TEST_F(MdsdPersistence, MutationsSurviveSigkillRestart) {
   SocketTransport client;
   const auto specs = ParsePeerList(peers_);
   ASSERT_TRUE(specs.has_value());
-  for (const PeerSpec& spec : *specs) client.AddPeer(spec.addr, spec.host_port);
+  for (const PeerSpec& spec : *specs)
+    ASSERT_TRUE(client.AddPeer(spec.addr, spec.host_port));
 
   constexpr MdsId kVictim = 1;
   NodeId target = kInvalidNode;

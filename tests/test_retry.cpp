@@ -79,7 +79,7 @@ TEST(RetryPolicy, JitterIsDeterministicPerSeedAndNonce) {
 
   const auto run = [&](std::uint64_t jitter_seed, std::uint64_t nonce) {
     auto net = std::make_shared<SimNetTransport>(cfg);
-    net->SetPartitioned(Mon(), Mds0(), true);
+    EXPECT_TRUE(net->SetPartitioned(Mon(), Mds0(), true));
     RetryPolicy p = policy;
     p.jitter_seed = jitter_seed;
     return SendWithRetry(*net, Mon(), Mds0(), Ping(), p, nonce)

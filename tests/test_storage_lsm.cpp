@@ -161,7 +161,10 @@ TEST(LsmEngine, TombstonesShadowSealedTables) {
 
   // The tombstones themselves survive a restart (they are journaled) and
   // keep shadowing the sealed table.
-  engine.Reopen();
+  const StoreRecoveryInfo reopened = engine.Reopen();
+  EXPECT_TRUE(reopened.opened_existing);
+  EXPECT_EQ(reopened.wal_records_replayed, 2u);  // the two tombstones
+  EXPECT_FALSE(reopened.wal_torn_tail);
   EXPECT_EQ(engine.Size(), 8u);
   EXPECT_FALSE(engine.Contains(8));
   EXPECT_TRUE(engine.Contains(9));
@@ -188,8 +191,11 @@ TEST(LsmEngine, IngestTableFileLinksInWholeSubtree) {
   EXPECT_EQ(engine.Get(150)->name, "m150");
   EXPECT_TRUE(engine.Get(7).has_value());
 
-  // The ingested table is engine state now: a restart keeps it.
-  engine.Reopen();
+  // The ingested table is engine state now: a restart keeps it — the
+  // manifest lists both the flushed-memtable table and the linked one.
+  const StoreRecoveryInfo reopened = engine.Reopen();
+  EXPECT_TRUE(reopened.opened_existing);
+  EXPECT_EQ(reopened.tables_opened, 2u);
   EXPECT_EQ(engine.Size(), shipped.size() + 1);
   EXPECT_TRUE(engine.AuditStorage().empty());
 }

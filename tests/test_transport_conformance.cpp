@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -29,6 +30,23 @@ namespace d2tree {
 namespace {
 
 enum class TransportKind { kInProcess, kSimNet, kSocket };
+
+// The protocol registry: every MsgType enumerator, by name, so the
+// conformance sweep below cannot silently skip a type when the enum
+// grows (d2lint's registry rule pins this table to the enum).
+constexpr MsgType kAllMsgTypes[] = {
+    MsgType::kStatRequest,     MsgType::kStatResponse,
+    MsgType::kUpdateRequest,   MsgType::kUpdateResponse,
+    MsgType::kForward,         MsgType::kHeartbeat,
+    MsgType::kPendingPoolPush, MsgType::kPendingPoolPull,
+    MsgType::kGlWriteLock,     MsgType::kGlCommit,
+    MsgType::kRenameRequest,   MsgType::kRenameResponse,
+    MsgType::kRenamePrepare,   MsgType::kRenameCommit,
+    MsgType::kRenameAbort,     MsgType::kBulkTable,
+};
+static_assert(std::size(kAllMsgTypes) ==
+                  static_cast<std::size_t>(MsgType::kBulkTable) + 1,
+              "kAllMsgTypes must list every MsgType enumerator");
 
 struct ConformanceParam {
   TransportKind kind;
@@ -106,11 +124,10 @@ TEST_P(TransportConformance, CallRoundTripsEveryMsgType) {
     return resp;
   }));
 
-  for (std::uint8_t ty = 0;
-       ty <= static_cast<std::uint8_t>(MsgType::kBulkTable); ++ty) {
+  for (const MsgType type : kAllMsgTypes) {
     Message req = FullyLoadedMessage();
-    req.type = static_cast<MsgType>(ty);
-    req.mtime = 1000 + ty;
+    req.type = type;
+    req.mtime = 1000 + static_cast<std::uint8_t>(type);
     Message resp;
     const Delivery d = t->Call(ClientAddress(), MdsAddress(1), req, &resp);
     ASSERT_TRUE(d.delivered) << MsgTypeName(req.type);

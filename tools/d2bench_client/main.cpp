@@ -132,7 +132,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "d2bench-client: malformed --peers list\n");
     return 2;
   }
-  for (const PeerSpec& spec : *specs) transport->AddPeer(spec.addr, spec.host_port);
+  for (const PeerSpec& spec : *specs) {
+    if (!transport->AddPeer(spec.addr, spec.host_port)) {
+      std::fprintf(stderr, "d2bench-client: malformed peer endpoint '%s'\n",
+                   spec.host_port.c_str());
+      return 2;
+    }
+  }
 
   const auto& records = workload.trace.records();
   if (records.empty()) {

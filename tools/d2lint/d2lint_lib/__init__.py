@@ -1,0 +1,1 @@
+"""d2lint: protocol-invariant static analysis for the d2tree codebase."""

@@ -1,0 +1,329 @@
+"""Clang AST fact extraction: `clang++ -ast-dump=json` → FactDb.
+
+Where textextract.py infers structure from tokens, this backend asks the
+real compiler frontend. It extracts the facts that genuinely need type
+information — which enum a `switch` condition has (even when no case
+label is enum-qualified), enum definitions, and Mutex/SharedMutex data
+members — and the driver diffs them against the textual facts: any
+construct only one backend sees becomes a `backend-drift` finding, which
+is how the regex-based scripts/check_lock_order.py parser gets
+machine-checked against the AST (ISSUE rule 4).
+
+Costs: one -fsyntax-only parse per translation unit plus a JSON dump that
+includes every header; the walker filters nodes to repo files. Clang's
+JSON omits `file`/`line` on a location when unchanged from the previously
+printed node, so the walk tracks the last seen values in traversal order.
+No libTooling, no build-time dependency: any clang >= 12 on PATH works.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+import subprocess
+
+from .config import Config
+from .facts import EnumDef, FactDb, MutexDecl, SwitchFact
+from .lexer import lex
+
+_SKIP_ARGS = {"-c", "-g", "-MMD", "-MD", "-MP"}
+
+
+def find_clang() -> str | None:
+    for cand in (os.environ.get("D2LINT_CLANG"), "clang++", "clang"):
+        if not cand:
+            continue
+        try:
+            subprocess.run([cand, "--version"], capture_output=True,
+                           check=True)
+            return cand
+        except (OSError, subprocess.CalledProcessError):
+            continue
+    return None
+
+
+def load_compdb(path: str) -> list:
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def _tu_args(entry: dict) -> list:
+    """compile_commands.json entry → flags for -fsyntax-only (source file
+    excluded; output/dep flags stripped)."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry.get("command", ""))
+    out: list = []
+    skip_next = False
+    for a in argv[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-o", "-MF", "-MT", "-MQ", "--output"):
+            skip_next = True
+            continue
+        if a in _SKIP_ARGS or a == entry.get("file"):
+            continue
+        if a.endswith(".cpp") or a.endswith(".cc"):
+            continue
+        out.append(a)
+    return out
+
+
+def dump_ast(clang: str, entry: dict, repo: str) -> dict | None:
+    cmd = ([clang] + _tu_args(entry) +
+           ["-fsyntax-only", "-Wno-everything", "-Xclang",
+            "-ast-dump=json", entry["file"]])
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          cwd=entry.get("directory", repo))
+    if proc.returncode != 0 or not proc.stdout:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+class _AstWalker:
+    def __init__(self, repo: str, cfg: Config):
+        self.repo = os.path.abspath(repo)
+        self.cfg = cfg
+        self.db = FactDb()
+        self.cur_file = ""
+        self.cur_line = 0
+        self.record_stack: list = []
+        self._annotations: dict = {}  # rel -> LexResult annotations
+
+    # ---- location bookkeeping -----------------------------------------
+
+    def _track(self, node: dict) -> None:
+        loc = node.get("loc") or {}
+        for src in (loc.get("spellingLoc"), loc):
+            if not src:
+                continue
+            if "file" in src:
+                self.cur_file = src["file"]
+            if "line" in src:
+                self.cur_line = src["line"]
+            break
+        rng = node.get("range") or {}
+        begin = rng.get("begin") or {}
+        for src in (begin.get("spellingLoc"), begin):
+            if not src:
+                continue
+            if "file" in src:
+                self.cur_file = src["file"]
+            if "line" in src:
+                self.cur_line = src["line"]
+            break
+
+    def _rel(self) -> str | None:
+        path = os.path.abspath(os.path.join(self.repo, self.cur_file)) \
+            if not os.path.isabs(self.cur_file) else \
+            os.path.abspath(self.cur_file)
+        if not path.startswith(self.repo + os.sep):
+            return None
+        return os.path.relpath(path, self.repo).replace(os.sep, "/")
+
+    def _annotation_reason(self, rel: str, line: int) -> str:
+        if rel not in self._annotations:
+            try:
+                with open(os.path.join(self.repo, rel),
+                          encoding="utf-8") as f:
+                    self._annotations[rel] = lex(f.read())
+            except OSError:
+                self._annotations[rel] = lex("")
+        notes = self._annotations[rel].annotations_near(
+            line, "allow-default")
+        return (notes[-1].reason or "(unstated)") if notes else ""
+
+    # ---- node handlers -------------------------------------------------
+
+    def walk(self, node: dict) -> None:
+        if not isinstance(node, dict):
+            return
+        self._track(node)
+        kind = node.get("kind", "")
+        if kind == "EnumDecl":
+            self._on_enum(node)
+        elif kind == "SwitchStmt":
+            self._on_switch(node)
+            return  # _on_switch recurses itself
+        elif kind == "CXXRecordDecl":
+            name = node.get("name", "")
+            completeness = node.get("completeDefinition", False)
+            if name and completeness:
+                self.record_stack.append(name)
+                for child in node.get("inner", []) or []:
+                    self.walk(child)
+                self.record_stack.pop()
+                return
+        elif kind == "FieldDecl":
+            self._on_field(node)
+        for child in node.get("inner", []) or []:
+            self.walk(child)
+
+    def _on_enum(self, node: dict) -> None:
+        rel = self._rel()
+        name = node.get("name", "")
+        if not rel or not name:
+            return
+        enum = EnumDef(name=name, file=rel, line=self.cur_line)
+        for child in node.get("inner", []) or []:
+            if child.get("kind") == "EnumConstantDecl":
+                self._track(child)
+                enum.enumerators.append(
+                    (child.get("name", ""), self.cur_line))
+        if enum.enumerators:
+            self.db.enums.setdefault(name, enum)
+
+    @staticmethod
+    def _qual_enum_name(qual: str) -> str:
+        # "d2tree::MsgType" / "const d2tree::MsgType" → "MsgType"
+        base = qual.split("<")[0].split("::")[-1].strip()
+        return base.replace("const", "").strip(" &*")
+
+    def _cond_enum(self, node: dict) -> str:
+        """Enum name of the switch condition's type, if any."""
+        for sub in self._subtree(node):
+            qual = (sub.get("type") or {}).get("qualType", "")
+            name = self._qual_enum_name(qual)
+            if self.cfg.is_protocol(name):
+                return name
+        return ""
+
+    def _subtree(self, node: dict):
+        yield node
+        for child in node.get("inner", []) or []:
+            if isinstance(child, dict):
+                yield from self._subtree(child)
+
+    def _on_switch(self, node: dict) -> None:
+        rel = self._rel()
+        line = self.cur_line
+        inner = [c for c in node.get("inner", []) or [] if c]
+        if not inner:
+            return
+        body = inner[-1]
+        cond = inner[:-1]
+        fact = SwitchFact(file=rel or "", line=line, enum="",
+                          source="clang")
+        for c in cond:
+            enum = self._cond_enum(c)
+            if enum:
+                fact.enum = enum
+                break
+        self._collect_cases(body, fact)
+        if rel and fact.enum:
+            self.db.switches.append(fact)
+        # Keep walking the body for nested switches and field decls in
+        # local classes (cases of nested switches were skipped).
+        for c in inner:
+            for sub in self._nested_switches(c):
+                self._on_switch(sub)
+
+    def _collect_cases(self, node: dict, fact: SwitchFact) -> None:
+        if not isinstance(node, dict):
+            return
+        self._track(node)
+        kind = node.get("kind", "")
+        if kind == "SwitchStmt":
+            return  # nested switch owns its cases
+        if kind == "CaseStmt":
+            for sub in self._subtree(node):
+                if sub.get("kind") == "DeclRefExpr":
+                    ref = sub.get("referencedDecl") or {}
+                    if ref.get("kind") == "EnumConstantDecl":
+                        fact.cases.add(ref.get("name", ""))
+                        break
+                if sub is not node and sub.get("kind") in (
+                        "CaseStmt", "DefaultStmt", "CompoundStmt"):
+                    break
+        elif kind == "DefaultStmt":
+            fact.has_default = True
+            fact.default_line = self.cur_line
+            rel = self._rel()
+            if rel:
+                fact.default_reason = self._annotation_reason(
+                    rel, self.cur_line)
+        for child in node.get("inner", []) or []:
+            self._collect_cases(child, fact)
+
+    def _nested_switches(self, node: dict):
+        if not isinstance(node, dict):
+            return
+        for child in node.get("inner", []) or []:
+            if not isinstance(child, dict):
+                continue
+            if child.get("kind") == "SwitchStmt":
+                self._track(child)
+                yield child
+            else:
+                yield from self._nested_switches(child)
+
+    def _on_field(self, node: dict) -> None:
+        rel = self._rel()
+        if not rel:
+            return
+        qual = (node.get("type") or {}).get("qualType", "")
+        base = self._qual_enum_name(qual)
+        if base not in self.cfg.mutex_types or "*" in qual or "&" in qual:
+            return
+        member = node.get("name", "")
+        cls = self.record_stack[-1] if self.record_stack else ""
+        if not member:
+            return
+        # Rank comes from the (compiler-invisible) D2T_LOCK_RANK macro;
+        # read it back off the declaration's source line.
+        rank = self._rank_from_source(rel, self.cur_line, member)
+        self.db.mutexes.append(MutexDecl(
+            cls=cls, member=member, type=base, rank=rank, file=rel,
+            line=self.cur_line))
+
+    def _rank_from_source(self, rel: str, line: int,
+                          member: str) -> int | None:
+        try:
+            with open(os.path.join(self.repo, rel), encoding="utf-8") as f:
+                lines = f.read().split("\n")
+        except OSError:
+            return None
+        import re
+        # The declaration may wrap; scan the member's line and the next 3.
+        window = " ".join(lines[line - 1:line + 3])
+        m = re.search(re.escape(member) +
+                      r"[^;]*?D2T_LOCK_RANK\(\s*(\d+)\s*\)", window)
+        return int(m.group(1)) if m else None
+
+
+def extract_from_compdb(repo: str, compdb_path: str, cfg: Config,
+                        tu_filter: str = "") -> tuple:
+    """Returns (FactDb, errors: list[str]). Facts are deduplicated across
+    translation units (headers are parsed by many TUs)."""
+    clang = find_clang()
+    errors: list = []
+    if clang is None:
+        return None, ["clang not found on PATH (set D2LINT_CLANG)"]
+    merged = FactDb()
+    seen_switch: set = set()
+    seen_mutex: set = set()
+    for entry in load_compdb(compdb_path):
+        src = entry.get("file", "")
+        if tu_filter and tu_filter not in src:
+            continue
+        ast = dump_ast(clang, entry, repo)
+        if ast is None:
+            errors.append(f"clang failed to parse {src}")
+            continue
+        walker = _AstWalker(repo, cfg)
+        walker.walk(ast)
+        db = walker.db
+        db.switches = [s for s in db.switches
+                       if (key := (s.file, s.line)) not in seen_switch
+                       and not seen_switch.add(key)]
+        db.mutexes = [m for m in db.mutexes
+                      if (key := (m.file, m.line, m.member))
+                      not in seen_mutex and not seen_mutex.add(key)]
+        merged.merge(db)
+    return merged, errors

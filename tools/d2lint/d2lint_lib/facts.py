@@ -1,0 +1,154 @@
+"""The facts IR every d2lint backend produces and every rule consumes.
+
+A backend (textextract.py, clangextract.py) reduces a set of C++ files to
+one `FactDb`; the check modules in rules.py never look at source text
+again. Keeping the IR this small is what lets the clang AST backend and
+the textual backend cross-validate each other: both must land on the same
+facts for the same tree.
+
+All paths are repo-relative with forward slashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EnumDef:
+    """One `enum class Name : base { ... };` definition."""
+    name: str
+    file: str
+    line: int
+    enumerators: list = field(default_factory=list)  # [(name, line)]
+
+    @property
+    def names(self) -> list:
+        return [n for n, _ in self.enumerators]
+
+    @property
+    def last(self) -> str:
+        return self.enumerators[-1][0] if self.enumerators else ""
+
+
+@dataclass
+class SwitchFact:
+    """One `switch` statement, resolved to the enum it switches over.
+
+    The text backend infers `enum` from the case labels (a switch whose
+    labels name `MsgType::k...` is a switch over MsgType); the clang
+    backend reads the condition's actual type, so it also sees protocol
+    switches with no enum-qualified labels at all.
+    """
+    file: str
+    line: int
+    enum: str  # "" when the subject type is unknown
+    cases: set = field(default_factory=set)  # enumerator names (unqualified)
+    has_default: bool = False
+    default_line: int = 0
+    default_reason: str = ""  # non-empty when d2lint: allow-default(...) found
+    source: str = "text"  # which backend produced it
+
+
+@dataclass
+class CallFact:
+    """A call statement whose result is discarded.
+
+    Only *discarded* calls of must-use callees are recorded; `reason` is
+    non-empty when a `// d2lint: allow-discard(...)` annotation covers the
+    statement, `void_cast` when the discard is an explicit `(void)` cast.
+    """
+    file: str
+    line: int
+    callee: str
+    void_cast: bool = False
+    reason: str = ""
+
+
+@dataclass
+class MustUseFn:
+    """A function the discarded-result rule tracks: returns one of the
+    configured must-use types, or carries [[nodiscard]]."""
+    name: str
+    file: str
+    line: int
+    ret: str
+    nodiscard: bool
+
+
+@dataclass
+class MutexDecl:
+    """A Mutex/SharedMutex data-member declaration."""
+    cls: str
+    member: str
+    type: str  # "Mutex" | "SharedMutex"
+    rank: int | None
+    file: str
+    line: int
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.cls}::{self.member}" if self.cls else self.member
+
+
+@dataclass
+class BoundRef:
+    """`static_cast<T>(Enum::kX)` used as an upper bound (compared with
+    <, <=, >, >= or followed by `+ 1` as an exclusive count)."""
+    file: str
+    line: int
+    enum: str
+    enumerator: str
+    context: str  # short operator context, e.g. "> cast" / "cast + 1"
+
+
+@dataclass
+class EnumLiteralRef:
+    """Any `Enum::kX` appearance of a protocol enum (registry evidence)."""
+    file: str
+    line: int
+    enum: str
+    enumerator: str
+
+
+@dataclass
+class FactDb:
+    enums: dict = field(default_factory=dict)  # name -> EnumDef
+    switches: list = field(default_factory=list)  # [SwitchFact]
+    discarded_calls: list = field(default_factory=list)  # [CallFact]
+    must_use: dict = field(default_factory=dict)  # name -> MustUseFn
+    mutexes: list = field(default_factory=list)  # [MutexDecl]
+    bounds: list = field(default_factory=list)  # [BoundRef]
+    literals: list = field(default_factory=list)  # [EnumLiteralRef]
+    # Names that also carry a void-returning declaration somewhere: the
+    # name-based discard rule treats these as ambiguous (see textextract).
+    void_decls: set = field(default_factory=set)
+    files: list = field(default_factory=list)  # every file scanned
+
+    def merge(self, other: "FactDb") -> None:
+        for name, e in other.enums.items():
+            self.enums.setdefault(name, e)
+        self.switches.extend(other.switches)
+        self.discarded_calls.extend(other.discarded_calls)
+        for name, f in other.must_use.items():
+            self.must_use.setdefault(name, f)
+        self.mutexes.extend(other.mutexes)
+        self.bounds.extend(other.bounds)
+        self.literals.extend(other.literals)
+        self.void_decls |= other.void_decls
+        self.files.extend(f for f in other.files if f not in self.files)
+
+
+@dataclass(frozen=True)
+class Finding:
+    file: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+    def key(self) -> str:
+        """Baseline identity: location-stable like the clang-tidy wall."""
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"

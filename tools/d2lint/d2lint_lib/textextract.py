@@ -1,0 +1,484 @@
+"""Textual fact extraction: token stream → FactDb.
+
+This backend builds a micro-AST of exactly the constructs the rules need
+(enum definitions, switch statements, postfix call statements, mutex
+member declarations, upper-bound casts) from the lexer's token stream. It
+runs on any machine with a Python interpreter — no compiler needed — and
+is the reference backend for the fixture goldens. The clang backend
+(clangextract.py) re-derives the switch/enum/mutex facts from the real
+AST and flags any disagreement, so textual blind spots surface as
+findings instead of silent gaps.
+"""
+
+from __future__ import annotations
+
+from .config import Config
+from .facts import (BoundRef, CallFact, EnumDef, EnumLiteralRef, FactDb,
+                    MustUseFn, MutexDecl, SwitchFact)
+from .lexer import LexResult, Token, lex, match_paren
+
+_CONTROL_KEYWORDS = {"if", "while", "for", "switch", "catch"}
+_STMT_BOUNDARY = {";", "{", "}", ":", "else", "do"}
+# Keywords that can directly precede a type in a declaration; seeing one
+# right before a must-use type name means declaration, not call.
+_DECL_QUALIFIERS = {"virtual", "static", "inline", "constexpr", "explicit",
+                    "const", "friend", "extern", "mutable", "typename",
+                    "struct", "class", "using", "return", "co_return"}
+
+
+def _backward_match(tokens: list, close_idx: int) -> int:
+    """Index of the opener matching the `)`/`]` at close_idx, or -1."""
+    close = tokens[close_idx].value
+    openc = "(" if close == ")" else "["
+    depth = 0
+    for i in range(close_idx, -1, -1):
+        v = tokens[i].value
+        if v == close:
+            depth += 1
+        elif v == openc:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+class _FileScanner:
+    def __init__(self, rel: str, text: str, cfg: Config):
+        self.rel = rel
+        self.cfg = cfg
+        self.lexed: LexResult = lex(text)
+        self.toks: list = self.lexed.tokens
+        self.db = FactDb(files=[rel])
+        # (class_name, depth_after_open_brace); parallels the scope
+        # tracking in scripts/check_lock_order.py.
+        self.scopes: list = []
+        self.depth = 0
+
+    # ---- helpers -------------------------------------------------------
+
+    def _tok(self, i: int) -> Token | None:
+        return self.toks[i] if 0 <= i < len(self.toks) else None
+
+    def _value(self, i: int) -> str:
+        t = self._tok(i)
+        return t.value if t else ""
+
+    def _qualified_enum_at(self, i: int):
+        """Matches `[d2tree ::] Enum :: kX` starting at token i; returns
+        (enum, enumerator, next_index) or None."""
+        if self._value(i) == "d2tree" and self._value(i + 1) == "::":
+            i += 2
+        t = self._tok(i)
+        if (t and t.kind == "id" and self._value(i + 1) == "::"
+                and self._tok(i + 2) and self._tok(i + 2).kind == "id"):
+            return t.value, self._value(i + 2), i + 3
+        return None
+
+    # ---- construct parsers --------------------------------------------
+
+    def _parse_enum(self, i: int) -> int:
+        """At `enum`; returns index to resume from."""
+        j = i + 1
+        if self._value(j) in ("class", "struct"):
+            j += 1
+        name_tok = self._tok(j)
+        if not name_tok or name_tok.kind != "id":
+            return i + 1
+        name = name_tok.value
+        j += 1
+        # Optional `: underlying_type` then `{` (a forward declaration
+        # `enum class X : u8;` has no brace — skip it).
+        while j < len(self.toks) and self._value(j) not in ("{", ";"):
+            j += 1
+        if self._value(j) != "{":
+            return j
+        end = match_paren(self.toks, j, "{", "}")
+        if end < 0:
+            return j + 1
+        enum = EnumDef(name=name, file=self.rel, line=name_tok.line)
+        k = j + 1
+        while k < end:
+            t = self.toks[k]
+            if t.kind == "id":
+                enum.enumerators.append((t.value, t.line))
+                k += 1
+                # Skip an optional `= value` up to the next `,` at depth 0.
+                depth = 0
+                while k < end:
+                    v = self._value(k)
+                    if v in ("(", "{", "["):
+                        depth += 1
+                    elif v in (")", "}", "]"):
+                        depth -= 1
+                    elif v == "," and depth == 0:
+                        break
+                    k += 1
+            k += 1
+        if enum.enumerators:
+            self.db.enums.setdefault(name, enum)
+        return end + 1
+
+    def _parse_switch(self, i: int) -> int:
+        """At `switch`; collects one SwitchFact (recursing into nested
+        switches); returns index past the switch body."""
+        line = self.toks[i].line
+        cond_open = i + 1
+        if self._value(cond_open) != "(":
+            return i + 1
+        cond_close = match_paren(self.toks, cond_open)
+        if cond_close < 0:
+            return i + 1
+        body_open = cond_close + 1
+        if self._value(body_open) != "{":
+            return body_open
+        body_close = match_paren(self.toks, body_open, "{", "}")
+        if body_close < 0:
+            return body_open + 1
+
+        fact = SwitchFact(file=self.rel, line=line, enum="")
+        k = body_open + 1
+        while k < body_close:
+            v = self._value(k)
+            if v == "switch":
+                k = self._parse_switch(k)  # nested: its cases are its own
+                continue
+            if v == "case":
+                q = self._qualified_enum_at(k + 1)
+                if q:
+                    enum, enumerator, _ = q
+                    fact.cases.add(enumerator)
+                    if not fact.enum and self.cfg.is_protocol(enum):
+                        fact.enum = enum
+                else:
+                    t = self._tok(k + 1)
+                    if t and t.kind == "id":
+                        fact.cases.add(t.value)
+            elif v == "default" and self._value(k + 1) == ":":
+                fact.has_default = True
+                fact.default_line = self.toks[k].line
+                notes = self.lexed.annotations_near(
+                    fact.default_line, "allow-default")
+                if notes:
+                    fact.default_reason = notes[-1].reason or "(unstated)"
+            k += 1
+        self.db.switches.append(fact)
+        return body_close + 1
+
+    def _maybe_bound(self, i: int) -> None:
+        """At `static_cast`: record protocol-enum upper-bound usages."""
+        j = i + 1
+        if self._value(j) != "<":
+            return
+        # The template argument list of a static_cast never nests '<'.
+        while j < len(self.toks) and self._value(j) != ">":
+            j += 1
+        if self._value(j + 1) != "(":
+            return
+        close = match_paren(self.toks, j + 1)
+        q = self._qualified_enum_at(j + 2)
+        if not q or close < 0:
+            return
+        enum, enumerator, after = q
+        if after != close or not self.cfg.is_protocol(enum):
+            return
+        prev = self._value(i - 1)
+        nxt, nxt2 = self._value(close + 1), self._value(close + 2)
+        context = ""
+        if prev in ("<", "<=", ">", ">="):
+            context = f"{prev} cast"
+        elif nxt in ("<", "<=", ">", ">="):
+            context = f"cast {nxt}"
+        elif nxt == "+" and nxt2 == "1":
+            context = "cast + 1"
+        if context:
+            self.db.bounds.append(BoundRef(
+                file=self.rel, line=self.toks[i].line, enum=enum,
+                enumerator=enumerator, context=context))
+
+    def _maybe_mutex_decl(self, i: int) -> None:
+        """At a token naming a mutex type: record a member declaration."""
+        t = self.toks[i]
+        prev = self._value(i - 1)
+        if prev == "::":
+            # `d2tree::Mutex` — fine; anything else (Foo::Mutex) is not
+            # our type.
+            if self._value(i - 2) != "d2tree":
+                return
+            prev = self._value(i - 3)
+        if prev in ("*", "&", "&&", "<", ",", "(", "new", "typename",
+                    "class", "using", "typedef", "."):
+            return
+        name_tok = self._tok(i + 1)
+        if not name_tok or name_tok.kind != "id":
+            return
+        after = self._value(i + 2)
+        # A declaration continues with attributes, an initializer, or ends.
+        if not (after in (";", "=", "{") or after.startswith("D2T_")):
+            return
+        rank = None
+        j = i + 2
+        while j < len(self.toks) and self._value(j) != ";":
+            if self._value(j) == "D2T_LOCK_RANK" and \
+                    self._value(j + 1) == "(":
+                rank_tok = self._tok(j + 2)
+                if rank_tok and rank_tok.kind == "num":
+                    rank = int(rank_tok.value)
+            j += 1
+        cls = self.scopes[-1][0] if self.scopes else ""
+        self.db.mutexes.append(MutexDecl(
+            cls=cls, member=name_tok.value, type=t.value, rank=rank,
+            file=self.rel, line=name_tok.line))
+
+    def _maybe_must_use_decl(self, i: int) -> None:
+        """At `[ [ nodiscard ] ]` or a must-use return type: record the
+        declared function name."""
+        t = self.toks[i]
+        nodiscard = False
+        j = i
+        if t.value == "[" and self._value(i + 1) == "[" and \
+                self._value(i + 2) == "nodiscard":
+            nodiscard = True
+            j = i + 3
+            while j < len(self.toks) and self._value(j) != "]":
+                j += 1
+            j += 2  # past `] ]`
+            # The return type follows; skip qualifiers and the type chain
+            # up to the declarator name.
+        elif t.kind == "id" and t.value in self.cfg.must_use_types:
+            if self._value(i - 1) in ("::", "<", ",", "enum", "class",
+                                      "struct", "return", "case", "("):
+                return
+            j = i + 1
+        else:
+            return
+        # Walk `Qual::Chain<...> Name (` — the declared name is the last
+        # identifier before a `(` that is not part of template args.
+        name, name_line = "", 0
+        depth = 0
+        while j < len(self.toks):
+            v = self._value(j)
+            tok = self.toks[j]
+            if v in ("<",):
+                depth += 1
+            elif v in (">",):
+                depth = max(0, depth - 1)
+            elif v == "(" and depth == 0:
+                break
+            elif v in (";", "{", "}", "=", ")"):
+                return  # not a function declaration
+            elif tok.kind == "id" and depth == 0 and \
+                    v not in _DECL_QUALIFIERS:
+                name, name_line = v, tok.line
+            j += 1
+        if not name or name == "operator":
+            return
+        self.db.must_use.setdefault(name, MustUseFn(
+            name=name, file=self.rel, line=name_line,
+            ret=("[[nodiscard]]" if nodiscard else t.value),
+            nodiscard=nodiscard))
+
+    def _maybe_void_decl(self, i: int) -> None:
+        """At `void`: if this declares a function, record its name. Names
+        carrying both a must-use and a void declaration are ambiguous to
+        this name-based backend (e.g. `SSTableReader::Scan` vs the void
+        `StoreEngine::Scan`) and the discard rule skips them; the clang
+        backend resolves them by type."""
+        if self._value(i - 1) in ("(", ",", "<", "::"):
+            return  # `(void)` cast, parameter list, or template argument
+        name, depth, j = "", 0, i + 1
+        while j < len(self.toks):
+            v = self._value(j)
+            tok = self.toks[j]
+            if v == "<":
+                depth += 1
+            elif v == ">":
+                depth = max(0, depth - 1)
+            elif v == "(" and depth == 0:
+                break
+            elif v in (";", "{", "}", "=", ")", "*", "&"):
+                return  # not a plain function declaration
+            elif tok.kind == "id" and depth == 0 and \
+                    v not in _DECL_QUALIFIERS:
+                name = v
+            j += 1
+        if name and name != "operator":
+            self.db.void_decls.add(name)
+
+    def _maybe_discarded_call(self, i: int) -> None:
+        """At an identifier followed by `(`: if this is a full-statement
+        call whose value is dropped, record a CallFact."""
+        if self._value(i + 1) != "(":
+            return
+        close = match_paren(self.toks, i + 1)
+        if close < 0 or self._value(close + 1) != ";":
+            return
+        # Walk backwards over the postfix chain the call hangs off.
+        j = i - 1
+        void_cast = False
+        while j >= 0:
+            v = self._value(j)
+            tk = self.toks[j]
+            if v in (".", "->", "::"):
+                j -= 1
+                continue
+            if tk.kind == "id" or v == "this":
+                if j >= 1 and self._value(j - 1) in (".", "->", "::"):
+                    j -= 1
+                    continue
+                if j == i - 1:
+                    # `Type name(...)` declaration, `return f(...)`,
+                    # `new T(...)`, `throw E(...)`: the id right before
+                    # the callee means this is not a bare call statement
+                    # — unless it's an `else`/`do` statement boundary.
+                    if v in _STMT_BOUNDARY:
+                        break
+                    return
+                j -= 1  # chain head (e.g. `transport_` or `std`)
+                break
+            if v in (")", "]"):
+                opener = _backward_match(self.toks, j)
+                if opener < 0:
+                    return
+                before = self._value(opener - 1)
+                if v == ")" and opener == j - 2 and \
+                        self._value(j - 1) == "void":
+                    # `(void)` cast — explicit acknowledgment.
+                    void_cast = True
+                    j = opener - 1
+                    break
+                if before in _CONTROL_KEYWORDS:
+                    j = opener - 1  # `if (...) call();` — a statement
+                    break
+                bt = self._tok(opener - 1)
+                if bt and (bt.kind == "id" or bt.value in (")", "]")):
+                    j = opener - 1  # postfix chain continues
+                    continue
+                j = opener - 1
+                break
+            break
+        prev = self._value(j) if j >= 0 else ";"
+        if not void_cast and prev == ")" and \
+                self._value(j - 1) == "void" and self._value(j - 2) == "(":
+            # `(void)obj->Call(...);` — the walk stops at the chain head,
+            # leaving j on the cast's closing paren.
+            void_cast = True
+            j -= 3
+            prev = self._value(j) if j >= 0 else ";"
+        is_stmt = (prev in _STMT_BOUNDARY or void_cast
+                   or prev in _CONTROL_KEYWORDS
+                   or (prev == ")" and self._in_control_paren(j)))
+        if not is_stmt:
+            return
+        line = self.toks[i].line
+        notes = self.lexed.annotations_near(line, "allow-discard")
+        self.db.discarded_calls.append(CallFact(
+            file=self.rel, line=line, callee=self.toks[i].value,
+            void_cast=void_cast,
+            reason=(notes[-1].reason or "(unstated)") if notes else ""))
+
+    def _in_control_paren(self, close_idx: int) -> bool:
+        opener = _backward_match(self.toks, close_idx)
+        return opener >= 1 and self._value(opener - 1) in _CONTROL_KEYWORDS
+
+    # ---- driver --------------------------------------------------------
+
+    def scan(self) -> FactDb:
+        i = 0
+        toks = self.toks
+        while i < len(toks):
+            t = toks[i]
+            v = t.value
+            if v == "{":
+                self.depth += 1
+            elif v == "}":
+                self.depth -= 1
+                while self.scopes and self.depth < self.scopes[-1][1]:
+                    self.scopes.pop()
+            elif t.kind == "id":
+                if v == "enum":
+                    i = self._parse_enum(i)
+                    continue
+                if v in ("class", "struct"):
+                    self._maybe_open_scope(i)
+                elif v == "switch":
+                    i = self._parse_switch_tracking_depth(i)
+                    continue
+                elif v == "static_cast":
+                    self._maybe_bound(i)
+                elif v in self.cfg.mutex_types:
+                    self._maybe_mutex_decl(i)
+                elif v in self.cfg.must_use_types:
+                    self._maybe_must_use_decl(i)
+                elif v == "void":
+                    self._maybe_void_decl(i)
+                q = self._qualified_enum_at(i)
+                if q:
+                    enum, enumerator, _ = q
+                    if self.cfg.is_protocol(enum):
+                        self.db.literals.append(EnumLiteralRef(
+                            file=self.rel, line=t.line, enum=enum,
+                            enumerator=enumerator))
+                if self._value(i + 1) == "(":
+                    self._maybe_discarded_call(i)
+            elif v == "[":
+                self._maybe_must_use_decl(i)
+            i += 1
+        return self.db
+
+    def _parse_switch_tracking_depth(self, i: int) -> int:
+        """_parse_switch skips the body tokens wholesale; replay scope and
+        literal/call bookkeeping for the region it consumed."""
+        end = self._parse_switch(i)
+        j = i
+        while j < end:
+            t = self.toks[j]
+            v = t.value
+            if v == "{":
+                self.depth += 1
+            elif v == "}":
+                self.depth -= 1
+                while self.scopes and self.depth < self.scopes[-1][1]:
+                    self.scopes.pop()
+            elif t.kind == "id":
+                if v == "static_cast":
+                    self._maybe_bound(j)
+                elif v in self.cfg.must_use_types:
+                    self._maybe_must_use_decl(j)
+                q = self._qualified_enum_at(j)
+                if q:
+                    enum, enumerator, _ = q
+                    if self.cfg.is_protocol(enum):
+                        self.db.literals.append(EnumLiteralRef(
+                            file=self.rel, line=t.line, enum=enum,
+                            enumerator=enumerator))
+                if self._value(j + 1) == "(":
+                    self._maybe_discarded_call(j)
+            j += 1
+        return end
+
+    def _maybe_open_scope(self, i: int) -> None:
+        """At `class`/`struct`: push a scope if this opens a definition."""
+        if self._value(i - 1) == "enum":
+            return
+        j = i + 1
+        # Optional attribute macro (e.g. D2T_CAPABILITY("mutex")).
+        while j < len(self.toks) and self.toks[j].kind == "id" and \
+                self.toks[j].value.startswith("D2T_"):
+            if self._value(j + 1) == "(":
+                j = match_paren(self.toks, j + 1) + 1
+            else:
+                j += 1
+        name_tok = self._tok(j)
+        if not name_tok or name_tok.kind != "id":
+            return
+        # Find whether a `{` opens before the next `;` (definition vs
+        # forward declaration / variable of elaborated type).
+        k = j + 1
+        while k < len(self.toks) and self._value(k) not in ("{", ";"):
+            k += 1
+        if self._value(k) == "{":
+            self.scopes.append((name_tok.value, self.depth + 1))
+
+
+def scan_file(rel: str, text: str, cfg: Config) -> FactDb:
+    return _FileScanner(rel, text, cfg).scan()

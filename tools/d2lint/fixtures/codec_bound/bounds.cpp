@@ -1,0 +1,35 @@
+// Fixture: codec-bound rule. Upper-bound casts must name the final
+// enumerator.
+enum class Proto {
+  kFirst,
+  kMiddle,
+  kLast,
+};
+
+bool DecodeGuardOk(unsigned char raw) {
+  // OK: bound names the final enumerator.
+  return raw <= static_cast<unsigned char>(Proto::kLast);
+}
+
+bool DecodeGuardStale(unsigned char raw) {
+  // FINDING: kMiddle was the last enumerator once; the guard went stale.
+  return raw > static_cast<unsigned char>(Proto::kMiddle);
+}
+
+int SweepLoopOk() {
+  int n = 0;
+  for (int t = 0; t < static_cast<int>(Proto::kLast) + 1; ++t) n += t;
+  return n;
+}
+
+int SweepLoopStale() {
+  int n = 0;
+  // FINDING: exclusive count built from a non-final enumerator.
+  for (int t = 0; t < static_cast<int>(Proto::kFirst) + 1; ++t) n += t;
+  return n;
+}
+
+int NotABound() {
+  // OK: a cast that is not compared or counted is not a bound.
+  return static_cast<int>(Proto::kMiddle);
+}

@@ -1,0 +1,11 @@
+// Fixture: discarded-result rule. Res is a must-use return type (see
+// config.json); Ship() carries [[nodiscard]] directly.
+#pragma once
+
+struct Res {
+  bool ok;
+};
+
+Res Fetch(int key);
+[[nodiscard]] bool Ship(int payload);
+void FireAndForget(int payload);

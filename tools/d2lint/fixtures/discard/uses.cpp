@@ -1,0 +1,24 @@
+#include "api.h"
+
+struct Client {
+  Res Fetch(int key);
+};
+
+int Consume(Client* c) {
+  Res r = Fetch(1);              // OK: consumed.
+  if (!Fetch(2).ok) return -1;   // OK: consumed in a condition.
+  Fetch(3);                      // FINDING: silently dropped.
+  c->Fetch(4);                   // FINDING: dropped through a chain.
+  (void)Fetch(5);                // OK: explicit (void) discard.
+  (void)c->Fetch(6);             // OK: explicit (void) through a chain.
+  // d2lint: allow-discard(warm-up call, result intentionally unused)
+  Fetch(7);                      // OK: annotated.
+  FireAndForget(8);              // OK: void return, nothing to drop.
+  if (!Ship(9)) return -2;       // OK: consumed.
+  Ship(10);                      // FINDING: [[nodiscard]] bool dropped.
+  return r.ok ? 0 : 1;
+}
+
+Res Passthrough() {
+  return Fetch(11);              // OK: returned, not dropped.
+}

@@ -1,0 +1,18 @@
+// A name with both a must-use and a void declaration is ambiguous to the
+// name-based text backend: the discard rule must skip it entirely.
+#pragma once
+
+struct Res {
+  int code;
+};
+
+struct Builder {
+  Res Add(int v);  // must-use by return type
+};
+
+struct Stats {
+  void Add(double v);  // void collision — makes `Add` ambiguous
+};
+
+// Unambiguous must-use name: still enforced.
+Res Commit(int v);

@@ -1,0 +1,7 @@
+#include "api.h"
+
+void Drive(Builder* b, Stats* s) {
+  b->Add(1);     // ambiguous name: no finding from the text backend
+  s->Add(2.0);   // void call: never a finding
+  Commit(3);     // unambiguous must-use: finding
+}

@@ -1,0 +1,20 @@
+// Fixture: lock-decl rule. Agreement on normal declarations; the
+// line-split declaration below is parsed by d2lint's token stream but is
+// invisible to scripts/check_lock_order.py's line-oriented regex — that
+// disagreement is the finding.
+#pragma once
+
+#define D2T_LOCK_RANK(n)
+
+class Mutex {};
+class SharedMutex {};
+
+class Agreed {
+  Mutex mu_ D2T_LOCK_RANK(10);
+  SharedMutex wide_mu_ D2T_LOCK_RANK(20);
+};
+
+class Split {
+  Mutex
+      split_mu_ D2T_LOCK_RANK(30);
+};

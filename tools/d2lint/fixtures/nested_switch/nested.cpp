@@ -1,0 +1,29 @@
+// Fixture: nested switches keep their cases separate. The outer switch
+// over Proto is exhaustive; the inner switch over Inner is missing
+// kYellow, and the inner cases must not leak into the outer fact.
+enum class Proto {
+  kOn,
+  kOff,
+};
+
+enum class Inner {
+  kRed,
+  kYellow,
+  kGreen,
+};
+
+int Dispatch(Proto p, Inner i) {
+  switch (p) {
+    case Proto::kOn:
+      switch (i) {  // FINDING: missing Inner::kYellow.
+        case Inner::kRed:
+          return 1;
+        case Inner::kGreen:
+          return 2;
+      }
+      return 3;
+    case Proto::kOff:
+      return 0;
+  }
+  return -1;
+}

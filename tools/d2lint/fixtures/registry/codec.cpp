@@ -1,0 +1,7 @@
+#include "proto.h"
+
+int Encode(Proto p) {
+  if (p == Proto::kUsedEverywhere) return 1;
+  if (p == Proto::kUsedInCodec) return 2;
+  return 0;
+}

@@ -1,0 +1,5 @@
+#include "proto.h"
+
+// kOrphan appears here, but other.cpp is not part of the codec registry,
+// so this does not satisfy the cross-check.
+int Elsewhere(Proto p) { return p == Proto::kOrphan ? 1 : 0; }

@@ -1,0 +1,9 @@
+// Fixture: registry rule. Every Proto enumerator must appear in
+// codec.cpp (see config.json); kOrphan appears nowhere.
+#pragma once
+
+enum class Proto {
+  kUsedEverywhere,
+  kUsedInCodec,
+  kOrphan,
+};

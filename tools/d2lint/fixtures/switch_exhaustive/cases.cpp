@@ -1,0 +1,56 @@
+#include "proto.h"
+
+// OK: names every enumerator, no default.
+int Exhaustive(Proto p) {
+  switch (p) {
+    case Proto::kAlpha:
+      return 1;
+    case Proto::kBeta:
+      return 2;
+    case Proto::kGamma:
+      return 3;
+  }
+  return 0;
+}
+
+// FINDING: kGamma is missing and there is no default.
+int MissingCase(Proto p) {
+  switch (p) {
+    case Proto::kAlpha:
+      return 1;
+    case Proto::kBeta:
+      return 2;
+  }
+  return 0;
+}
+
+// FINDING: bare default silently absorbs future enumerators.
+int BareDefault(Proto p) {
+  switch (p) {
+    case Proto::kAlpha:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+// OK: the default is annotated with a reason.
+int AllowedDefault(Proto p) {
+  switch (p) {
+    case Proto::kAlpha:
+      return 1;
+    // d2lint: allow-default(non-alpha values share one handler by design)
+    default:
+      return 0;
+  }
+}
+
+// OK: Local is not a protocol enum, so nothing is enforced.
+int NonProtocol(Local l) {
+  switch (l) {
+    case Local::kOne:
+      return 1;
+    default:
+      return 0;
+  }
+}

@@ -1,0 +1,14 @@
+// Fixture: exhaustive-switch rule. Proto is a protocol enum (see
+// config.json); Local is not.
+#pragma once
+
+enum class Proto : unsigned char {
+  kAlpha = 0,
+  kBeta = 1,
+  kGamma = 2,
+};
+
+enum class Local {
+  kOne,
+  kTwo,
+};

@@ -146,8 +146,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "mdsd: malformed --peers list\n");
       return 2;
     }
-    for (const PeerSpec& spec : *specs)
-      transport->AddPeer(spec.addr, spec.host_port);
+    for (const PeerSpec& spec : *specs) {
+      if (!transport->AddPeer(spec.addr, spec.host_port)) {
+        std::fprintf(stderr, "mdsd: malformed peer endpoint '%s'\n",
+                     spec.host_port.c_str());
+        return 2;
+      }
+    }
   }
   if (!flags.listen.empty() && !transport->AddPeer(self, flags.listen)) {
     std::fprintf(stderr, "mdsd: malformed --listen endpoint\n");
@@ -171,6 +176,7 @@ int main(int argc, char** argv) {
           break;
         case MsgType::kHeartbeat:
           break;
+        // d2lint: allow-default(monitor rejects all but lock + heartbeat)
         default:
           resp.status = MdsStatus::kNotPermitted;
           break;
@@ -235,8 +241,9 @@ int main(int argc, char** argv) {
               if (static_cast<MdsId>(p) == me) continue;
               // Best-effort fan-out: an unreachable replica catches up on
               // the next commit it does see (versions are monotone).
-              transport->SendReliable(self, MdsAddress(static_cast<MdsId>(p)),
-                                      commit, /*max_tries=*/2);
+              (void)transport->SendReliable(
+                  self, MdsAddress(static_cast<MdsId>(p)), commit,
+                  /*max_tries=*/2);
             }
             resp.status = MdsStatus::kOk;
             resp.record = cluster.server(me)
@@ -277,6 +284,7 @@ int main(int argc, char** argv) {
         case MsgType::kHeartbeat:
           resp.status = MdsStatus::kOk;
           break;
+        // d2lint: allow-default(unimplemented types answer kNotPermitted)
         default:
           resp.status = MdsStatus::kNotPermitted;
           break;
@@ -293,7 +301,10 @@ int main(int argc, char** argv) {
   const std::string endpoint = transport->EndpointOf(self);
   std::string host;
   std::uint16_t port = 0;
-  SplitHostPort(endpoint, &host, &port);
+  if (!SplitHostPort(endpoint, &host, &port)) {
+    std::fprintf(stderr, "mdsd: bad bound endpoint '%s'\n", endpoint.c_str());
+    return 1;
+  }
   std::printf("MDSD LISTENING %u\n", static_cast<unsigned>(port));
   std::fflush(stdout);
 
